@@ -1,0 +1,66 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation from a freshly built and measured synthetic Internet.
+//
+// Usage:
+//
+//	benchtables                      # everything at the default scale
+//	benchtables -scale 1 -seed 3     # full calibrated scale
+//	benchtables -table 3             # one table
+//	benchtables -figure 5            # one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aliaslimit"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.25, "world scale (1.0 ≈ 1:1000 of the paper's Internet)")
+	seed := flag.Uint64("seed", 1, "world seed")
+	workers := flag.Int("workers", 256, "scan concurrency")
+	table := flag.String("table", "", "regenerate a single table (1-6)")
+	figure := flag.String("figure", "", "regenerate a single figure (3-6)")
+	extensions := flag.Bool("extensions", false, "also run the future-work extension experiments")
+	flag.Parse()
+
+	start := time.Now()
+	study, err := aliaslimit.Run(aliaslimit.Options{
+		Seed: *seed, Scale: *scale, Workers: *workers,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "world built and measured in %v\n", time.Since(start).Round(time.Millisecond))
+
+	switch {
+	case *table != "":
+		out, err := study.RenderTable(*table)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+	case *figure != "":
+		out, err := study.RenderFigure(*figure)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+	default:
+		fmt.Print(study.RenderAll())
+		if *extensions {
+			out, err := study.RenderExtensions()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: extensions: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Print(out)
+		}
+	}
+}

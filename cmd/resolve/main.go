@@ -1,0 +1,80 @@
+// Command resolve reads identifier observations (the JSONL that cmd/scan
+// emits, possibly from several vantage points) and runs the paper's
+// inference: alias sets per protocol, the cross-protocol union, and
+// dual-stack sets.
+//
+// Usage:
+//
+//	resolve active.jsonl censys.jsonl
+//	resolve -sets active.jsonl          # also dump every non-singleton set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aliaslimit/internal/alias"
+	"aliaslimit/internal/core"
+	"aliaslimit/internal/ident"
+	"aliaslimit/internal/obsfile"
+)
+
+func main() {
+	dumpSets := flag.Bool("sets", false, "dump every non-singleton alias set")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: resolve [-sets] <observations.jsonl>...")
+		os.Exit(2)
+	}
+
+	r := core.NewResolver()
+	for _, path := range flag.Args() {
+		if err := load(r, path); err != nil {
+			fmt.Fprintf(os.Stderr, "resolve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	sum := r.Summarize()
+	fmt.Printf("observations: SSH=%d BGP=%d SNMPv3=%d\n",
+		sum.ObsPerProtocol["SSH"], sum.ObsPerProtocol["BGP"], sum.ObsPerProtocol["SNMPv3"])
+	for _, p := range ident.Protocols {
+		v4 := r.NonSingletonAliasSets(p, true)
+		v6 := r.NonSingletonAliasSets(p, false)
+		fmt.Printf("%-7s alias sets: IPv4 %d (covering %d addrs), IPv6 %d (covering %d addrs)\n",
+			p, len(v4), alias.CoveredAddrs(v4), len(v6), alias.CoveredAddrs(v6))
+	}
+	unionV4 := r.UnionAliasSets(true)
+	unionV6 := r.UnionAliasSets(false)
+	ds := r.DualStackSets()
+	fmt.Printf("union   alias sets: IPv4 %d (covering %d addrs), IPv6 %d (covering %d addrs)\n",
+		len(unionV4), alias.CoveredAddrs(unionV4), len(unionV6), alias.CoveredAddrs(unionV6))
+	fmt.Printf("dual-stack sets: %d\n", len(ds))
+
+	if *dumpSets {
+		for _, s := range unionV4 {
+			fmt.Printf("set %s\n", s.Signature())
+		}
+		for _, s := range unionV6 {
+			fmt.Printf("set %s\n", s.Signature())
+		}
+	}
+}
+
+// load streams one JSONL file into the resolver.
+func load(r *core.Resolver, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	obs, err := obsfile.Read(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	for _, o := range obs {
+		r.AddObservation(o)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Command scan runs the paper's measurement pipeline against a freshly
+// generated synthetic Internet and emits identifier observations as JSON
+// lines (see internal/obsfile for the schema). The output feeds
+// cmd/resolve, mirroring the paper's split between data collection
+// (ZMap/ZGrab2/Censys) and analysis.
+//
+// Usage:
+//
+//	scan -scale 0.25 -vantage active  > active.jsonl
+//	scan -scale 0.25 -vantage censys  > censys.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aliaslimit/internal/alias"
+	"aliaslimit/internal/experiments"
+	"aliaslimit/internal/ident"
+	"aliaslimit/internal/obsfile"
+	"aliaslimit/internal/topo"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.25, "world scale (1.0 ≈ 1:1000 of the paper's Internet)")
+	seed := flag.Uint64("seed", 1, "world seed")
+	vantage := flag.String("vantage", "active", "vantage point: active or censys")
+	workers := flag.Int("workers", 256, "scan concurrency")
+	flag.Parse()
+
+	cfg := topo.Default()
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+
+	start := time.Now()
+	world, err := topo.Build(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "world: %d devices, %d IPv4 targets, %d IPv6 bound (built in %v)\n",
+		world.Fabric.NumDevices(), len(world.V4Universe()), len(world.V6Bound()),
+		time.Since(start).Round(time.Millisecond))
+
+	opts := experiments.ScanOptions{Workers: *workers, Seed: *seed}
+	var ds *experiments.Dataset
+	switch *vantage {
+	case "active":
+		ds, err = experiments.CollectActive(world, opts)
+	case "censys":
+		ds, err = experiments.CollectCensys(world, opts)
+	default:
+		fatal(fmt.Errorf("unknown vantage %q (want active or censys)", *vantage))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var all []alias.Observation
+	for _, p := range ident.Protocols {
+		all = append(all, ds.Obs[p]...)
+	}
+	if err := obsfile.Write(os.Stdout, all); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "emitted %d observations from vantage %q\n", len(all), *vantage)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "scan: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,252 @@
+// Package alias implements the paper's inference pipeline: grouping
+// addresses by identifier into alias sets, merging sets across protocols and
+// data sources, deriving dual-stack sets, and the cross-technique validation
+// metric of §2.6.
+package alias
+
+import (
+	"net/netip"
+	"sort"
+	"strings"
+
+	"aliaslimit/internal/ident"
+)
+
+// Observation is one (address, identifier) fact produced by a scan.
+type Observation struct {
+	// Addr is the responsive address.
+	Addr netip.Addr
+	// ID is the extracted device identifier.
+	ID ident.Identifier
+}
+
+// Set is one alias set: the sorted, de-duplicated addresses that share an
+// identifier (or, after merging, a connected component of shared
+// identifiers).
+type Set struct {
+	// Addrs is sorted ascending and free of duplicates.
+	Addrs []netip.Addr
+}
+
+// NewSet builds a Set from addresses, sorting and de-duplicating.
+func NewSet(addrs ...netip.Addr) Set {
+	as := make([]netip.Addr, len(addrs))
+	copy(as, addrs)
+	sort.Slice(as, func(i, j int) bool { return as[i].Less(as[j]) })
+	out := as[:0]
+	for i, a := range as {
+		if i == 0 || as[i-1] != a {
+			out = append(out, a)
+		}
+	}
+	return Set{Addrs: out}
+}
+
+// Size returns the number of addresses in the set.
+func (s Set) Size() int { return len(s.Addrs) }
+
+// V4Count and V6Count split the set by address family.
+func (s Set) V4Count() int {
+	n := 0
+	for _, a := range s.Addrs {
+		if a.Is4() {
+			n++
+		}
+	}
+	return n
+}
+
+// V6Count returns the number of IPv6 addresses in the set.
+func (s Set) V6Count() int { return len(s.Addrs) - s.V4Count() }
+
+// IsDualStack reports whether the set spans both address families —
+// the paper's dual-stack criterion (§2.4).
+func (s Set) IsDualStack() bool {
+	return s.V4Count() > 0 && s.V6Count() > 0
+}
+
+// Signature returns a canonical string key for exact-membership comparison.
+func (s Set) Signature() string {
+	var sb strings.Builder
+	for i, a := range s.Addrs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(a.String())
+	}
+	return sb.String()
+}
+
+// Contains reports whether addr is in the set (binary search).
+func (s Set) Contains(addr netip.Addr) bool {
+	i := sort.Search(len(s.Addrs), func(i int) bool { return !s.Addrs[i].Less(addr) })
+	return i < len(s.Addrs) && s.Addrs[i] == addr
+}
+
+// sortSets orders sets canonically (by first address) for reproducibility.
+func sortSets(sets []Set) {
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i].Addrs, sets[j].Addrs
+		if len(a) == 0 || len(b) == 0 {
+			return len(a) < len(b)
+		}
+		if a[0] != b[0] {
+			return a[0].Less(b[0])
+		}
+		return len(a) < len(b)
+	})
+}
+
+// Group clusters observations by identifier: one Set per distinct
+// identifier, including singletons. Duplicate (addr, id) observations — the
+// same address seen by two data sources — collapse naturally.
+func Group(obs []Observation) []Set {
+	byID := make(map[string][]netip.Addr)
+	for _, o := range obs {
+		k := o.ID.Key()
+		byID[k] = append(byID[k], o.Addr)
+	}
+	sets := make([]Set, 0, len(byID))
+	for _, addrs := range byID {
+		sets = append(sets, NewSet(addrs...))
+	}
+	sortSets(sets)
+	return sets
+}
+
+// NonSingleton filters to sets with at least two addresses — the unit every
+// table in the paper counts.
+func NonSingleton(sets []Set) []Set {
+	out := make([]Set, 0, len(sets))
+	for _, s := range sets {
+		if s.Size() >= 2 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// DualStack filters to sets spanning both families (Table 4's unit). Note a
+// dual-stack set may have exactly one v4 and one v6 address and still count,
+// unlike NonSingleton's per-family view.
+func DualStack(sets []Set) []Set {
+	out := make([]Set, 0, len(sets))
+	for _, s := range sets {
+		if s.IsDualStack() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FilterFamily keeps only addresses of one family within each set, dropping
+// sets that become empty. The paper's IPv4 tables are FilterFamily(v4) views
+// of the underlying identifier groups.
+func FilterFamily(sets []Set, v4 bool) []Set {
+	out := make([]Set, 0, len(sets))
+	for _, s := range sets {
+		var keep []netip.Addr
+		for _, a := range s.Addrs {
+			if a.Is4() == v4 {
+				keep = append(keep, a)
+			}
+		}
+		if len(keep) > 0 {
+			out = append(out, Set{Addrs: keep})
+		}
+	}
+	sortSets(out)
+	return out
+}
+
+// CoveredAddrs counts distinct addresses across sets.
+func CoveredAddrs(sets []Set) int {
+	seen := make(map[netip.Addr]bool)
+	for _, s := range sets {
+		for _, a := range s.Addrs {
+			seen[a] = true
+		}
+	}
+	return len(seen)
+}
+
+// Merge consolidates alias sets from multiple protocols or data sources: any
+// two sets sharing an address collapse into one (§4.1's union). The inputs
+// may contain singletons; the output contains every address that appeared,
+// re-partitioned.
+func Merge(groups ...[]Set) []Set {
+	index := make(map[netip.Addr]int32)
+	var addrs []netip.Addr
+	idxOf := func(a netip.Addr) int32 {
+		if i, ok := index[a]; ok {
+			return i
+		}
+		i := int32(len(addrs))
+		index[a] = i
+		addrs = append(addrs, a)
+		return i
+	}
+	// First pass: intern every address.
+	for _, sets := range groups {
+		for _, s := range sets {
+			for _, a := range s.Addrs {
+				idxOf(a)
+			}
+		}
+	}
+	d := newDSU(len(addrs))
+	for _, sets := range groups {
+		for _, s := range sets {
+			if len(s.Addrs) < 2 {
+				continue
+			}
+			first := index[s.Addrs[0]]
+			for _, a := range s.Addrs[1:] {
+				d.union(first, index[a])
+			}
+		}
+	}
+	comp := make(map[int32][]netip.Addr)
+	for i, a := range addrs {
+		r := d.find(int32(i))
+		comp[r] = append(comp[r], a)
+	}
+	out := make([]Set, 0, len(comp))
+	for _, as := range comp {
+		out = append(out, NewSet(as...))
+	}
+	sortSets(out)
+	return out
+}
+
+// Restrict drops addresses outside keep from every set and discards sets
+// left with fewer than two addresses. This is the first step of the paper's
+// cross-protocol validation: both partitions are compared only over the
+// addresses responsive to both protocols.
+func Restrict(sets []Set, keep map[netip.Addr]bool) []Set {
+	out := make([]Set, 0, len(sets))
+	for _, s := range sets {
+		var kept []netip.Addr
+		for _, a := range s.Addrs {
+			if keep[a] {
+				kept = append(kept, a)
+			}
+		}
+		if len(kept) >= 2 {
+			out = append(out, Set{Addrs: kept})
+		}
+	}
+	sortSets(out)
+	return out
+}
+
+// AddrSet builds the membership map of all addresses across sets.
+func AddrSet(sets []Set) map[netip.Addr]bool {
+	m := make(map[netip.Addr]bool)
+	for _, s := range sets {
+		for _, a := range s.Addrs {
+			m[a] = true
+		}
+	}
+	return m
+}

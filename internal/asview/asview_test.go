@@ -1,0 +1,88 @@
+package asview
+
+import (
+	"net/netip"
+	"testing"
+
+	"aliaslimit/internal/alias"
+)
+
+func mapper() Mapper {
+	m := map[netip.Addr]uint32{
+		netip.MustParseAddr("10.0.0.1"):    100,
+		netip.MustParseAddr("10.0.0.2"):    100,
+		netip.MustParseAddr("10.1.0.1"):    200,
+		netip.MustParseAddr("10.2.0.1"):    300,
+		netip.MustParseAddr("2001:db8::1"): 100,
+	}
+	return FromMap(m)
+}
+
+func set(ss ...string) alias.Set {
+	var a []netip.Addr
+	for _, s := range ss {
+		a = append(a, netip.MustParseAddr(s))
+	}
+	return alias.NewSet(a...)
+}
+
+func TestASNsOfSet(t *testing.T) {
+	got := ASNsOfSet(mapper(), set("10.0.0.1", "10.0.0.2", "10.1.0.1", "10.99.0.1"))
+	if len(got) != 2 || got[0] != 100 || got[1] != 200 {
+		t.Errorf("ASNs = %v, want [100 200]", got)
+	}
+}
+
+func TestSpreadPerSet(t *testing.T) {
+	sets := []alias.Set{
+		set("10.0.0.1", "10.0.0.2"),             // 1 AS
+		set("10.0.0.1", "10.1.0.1", "10.2.0.1"), // 3 ASes
+	}
+	got := SpreadPerSet(mapper(), sets)
+	if got[0] != 1 || got[1] != 3 {
+		t.Errorf("spread = %v", got)
+	}
+}
+
+func TestSetsPerASAndTop(t *testing.T) {
+	sets := []alias.Set{
+		set("10.0.0.1", "10.0.0.2"),
+		set("10.0.0.1", "10.1.0.1"),
+		set("10.2.0.1", "10.1.0.1"),
+	}
+	counts := SetsPerAS(mapper(), sets)
+	if counts[100] != 2 || counts[200] != 2 || counts[300] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	top := Top(counts, 2)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	// Tie between 100 and 200 broken by ASN.
+	if top[0].ASN != 100 || top[1].ASN != 200 {
+		t.Errorf("top = %v", top)
+	}
+	all := Top(counts, 10)
+	if len(all) != 3 {
+		t.Errorf("top10 = %v", all)
+	}
+}
+
+func TestCountASNs(t *testing.T) {
+	addrs := []netip.Addr{
+		netip.MustParseAddr("10.0.0.1"),
+		netip.MustParseAddr("10.0.0.2"),
+		netip.MustParseAddr("10.1.0.1"),
+		netip.MustParseAddr("10.250.0.1"), // unmapped
+	}
+	if got := CountASNs(mapper(), addrs); got != 2 {
+		t.Errorf("CountASNs = %d, want 2", got)
+	}
+}
+
+func TestDualStackMapping(t *testing.T) {
+	got := ASNsOfSet(mapper(), set("10.0.0.1", "2001:db8::1"))
+	if len(got) != 1 || got[0] != 100 {
+		t.Errorf("v4+v6 set ASNs = %v", got)
+	}
+}

@@ -1,0 +1,150 @@
+package asview
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// PrefixMapper is a longest-prefix-match address→origin-AS table, the
+// structure a real deployment builds from RouteViews/RIPE RIS dumps. The
+// synthetic world offers an exact per-address map; this exists so the
+// AS-level analyses run unchanged against real BGP-derived data.
+//
+// Implementation: prefixes are bucketed by prefix length; lookup masks the
+// address to each populated length, longest first, and probes a hash map.
+// That is O(populated lengths) per lookup with no allocation — the classic
+// flat-LPM scheme, plenty for analysis workloads.
+type PrefixMapper struct {
+	// v4 and v6 map masked prefix → ASN, bucketed by prefix length.
+	v4 [33]map[netip.Addr]uint32
+	v6 [129]map[netip.Addr]uint32
+	n  int
+}
+
+// NewPrefixMapper returns an empty table.
+func NewPrefixMapper() *PrefixMapper {
+	return &PrefixMapper{}
+}
+
+// Insert adds one originated prefix. More-specific announcements naturally
+// win at lookup time; duplicate exact prefixes keep the last origin (as a
+// routing table would after an update).
+func (m *PrefixMapper) Insert(prefix netip.Prefix, asn uint32) error {
+	if !prefix.IsValid() {
+		return fmt.Errorf("asview: invalid prefix")
+	}
+	prefix = prefix.Masked()
+	bits := prefix.Bits()
+	if prefix.Addr().Is4() {
+		if m.v4[bits] == nil {
+			m.v4[bits] = make(map[netip.Addr]uint32)
+		}
+		m.v4[bits][prefix.Addr()] = asn
+	} else {
+		if m.v6[bits] == nil {
+			m.v6[bits] = make(map[netip.Addr]uint32)
+		}
+		m.v6[bits][prefix.Addr()] = asn
+	}
+	m.n++
+	return nil
+}
+
+// Len returns the number of inserted prefixes.
+func (m *PrefixMapper) Len() int { return m.n }
+
+// ASNOf implements Mapper by longest-prefix match.
+func (m *PrefixMapper) ASNOf(addr netip.Addr) (uint32, bool) {
+	addr = addr.Unmap()
+	if addr.Is4() {
+		for bits := 32; bits >= 0; bits-- {
+			bucket := m.v4[bits]
+			if bucket == nil {
+				continue
+			}
+			p, err := addr.Prefix(bits)
+			if err != nil {
+				continue
+			}
+			if asn, ok := bucket[p.Addr()]; ok {
+				return asn, true
+			}
+		}
+		return 0, false
+	}
+	for bits := 128; bits >= 0; bits-- {
+		bucket := m.v6[bits]
+		if bucket == nil {
+			continue
+		}
+		p, err := addr.Prefix(bits)
+		if err != nil {
+			continue
+		}
+		if asn, ok := bucket[p.Addr()]; ok {
+			return asn, true
+		}
+	}
+	return 0, false
+}
+
+// FromAddrMap compacts an exact per-address map into a prefix table by
+// emitting host routes grouped under their covering /24 (or /64) when every
+// member agrees — a convenience for turning the synthetic world's ground
+// truth into LPM form for tests and tooling.
+func FromAddrMap(exact map[netip.Addr]uint32) *PrefixMapper {
+	m := NewPrefixMapper()
+	// Group addresses by covering prefix; emit the covering prefix when
+	// homogeneous, host routes otherwise.
+	type group struct {
+		asn   uint32
+		mixed bool
+		addrs []netip.Addr
+	}
+	cover := func(a netip.Addr) netip.Prefix {
+		bits := 24
+		if a.Is6() {
+			bits = 64
+		}
+		p, _ := a.Prefix(bits)
+		return p
+	}
+	groups := make(map[netip.Prefix]*group)
+	for a, asn := range exact {
+		c := cover(a)
+		g := groups[c]
+		if g == nil {
+			groups[c] = &group{asn: asn, addrs: []netip.Addr{a}}
+			continue
+		}
+		if g.asn != asn {
+			g.mixed = true
+		}
+		g.addrs = append(g.addrs, a)
+	}
+	// Deterministic insertion order for reproducible tables.
+	prefixes := make([]netip.Prefix, 0, len(groups))
+	for p := range groups {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool {
+		return prefixes[i].String() < prefixes[j].String()
+	})
+	for _, p := range prefixes {
+		g := groups[p]
+		if !g.mixed {
+			_ = m.Insert(p, g.asn)
+			continue
+		}
+		for _, a := range g.addrs {
+			bits := 32
+			if a.Is6() {
+				bits = 128
+			}
+			hp, _ := a.Prefix(bits)
+			_ = m.Insert(hp, exact[a])
+		}
+	}
+	return m
+}

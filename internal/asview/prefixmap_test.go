@@ -1,0 +1,103 @@
+package asview
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrefixMapperLongestMatchWins(t *testing.T) {
+	m := NewPrefixMapper()
+	for _, ins := range []struct {
+		p   string
+		asn uint32
+	}{
+		{"10.0.0.0/8", 100},
+		{"10.1.0.0/16", 200},
+		{"10.1.2.0/24", 300},
+		{"2a00::/16", 400},
+		{"2a00:1::/32", 500},
+	} {
+		if err := m.Insert(netip.MustParsePrefix(ins.p), ins.asn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := map[string]uint32{
+		"10.2.3.4":   100,
+		"10.1.9.9":   200,
+		"10.1.2.77":  300,
+		"2a00:9::1":  400,
+		"2a00:1::42": 500,
+	}
+	for addr, want := range cases {
+		got, ok := m.ASNOf(netip.MustParseAddr(addr))
+		if !ok || got != want {
+			t.Errorf("ASNOf(%s) = %d,%v; want %d", addr, got, ok, want)
+		}
+	}
+	if _, ok := m.ASNOf(netip.MustParseAddr("192.168.1.1")); ok {
+		t.Error("uncovered address matched")
+	}
+	if _, ok := m.ASNOf(netip.MustParseAddr("2b00::1")); ok {
+		t.Error("uncovered v6 address matched")
+	}
+	if m.Len() != 5 {
+		t.Errorf("Len = %d", m.Len())
+	}
+}
+
+func TestPrefixMapperUnmapsV4InV6(t *testing.T) {
+	m := NewPrefixMapper()
+	_ = m.Insert(netip.MustParsePrefix("10.0.0.0/8"), 7)
+	if asn, ok := m.ASNOf(netip.MustParseAddr("::ffff:10.1.2.3")); !ok || asn != 7 {
+		t.Errorf("mapped v4-in-v6 lookup = %d,%v", asn, ok)
+	}
+}
+
+func TestPrefixMapperRejectsInvalid(t *testing.T) {
+	m := NewPrefixMapper()
+	if err := m.Insert(netip.Prefix{}, 1); err == nil {
+		t.Error("invalid prefix accepted")
+	}
+}
+
+func TestFromAddrMapAgreesWithExact(t *testing.T) {
+	f := func(seedBytes []byte) bool {
+		exact := make(map[netip.Addr]uint32)
+		for i, b := range seedBytes {
+			if i > 80 {
+				break
+			}
+			a := netip.AddrFrom4([4]byte{10, b % 8, b, byte(i)})
+			exact[a] = uint32(b%5) + 1
+			var six [16]byte
+			six[0], six[1], six[15] = 0x2a, b%4, byte(i)
+			exact[netip.AddrFrom16(six)] = uint32(b%3) + 10
+		}
+		m := FromAddrMap(exact)
+		for a, want := range exact {
+			got, ok := m.ASNOf(a)
+			if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromAddrMapMixedCoverEmitsHostRoutes(t *testing.T) {
+	exact := map[netip.Addr]uint32{
+		netip.MustParseAddr("10.0.0.1"): 1,
+		netip.MustParseAddr("10.0.0.2"): 2, // same /24, different AS
+	}
+	m := FromAddrMap(exact)
+	for a, want := range exact {
+		got, ok := m.ASNOf(a)
+		if !ok || got != want {
+			t.Errorf("ASNOf(%s) = %d,%v; want %d", a, got, ok, want)
+		}
+	}
+}

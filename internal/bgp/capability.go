@@ -1,0 +1,149 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Optional parameter types (RFC 4271 §4.2, RFC 5492).
+const (
+	// OptParamCapability is the only optional parameter type in modern use.
+	OptParamCapability = 2
+)
+
+// Capability codes seen in the wild and in the paper's Figure 2.
+const (
+	// CapMultiprotocol announces an AFI/SAFI (RFC 4760).
+	CapMultiprotocol = 1
+	// CapRouteRefresh is the standard route-refresh capability (RFC 2918).
+	CapRouteRefresh = 2
+	// CapGracefulRestart is RFC 4724.
+	CapGracefulRestart = 64
+	// CapFourOctetAS carries the speaker's 4-octet AS number (RFC 6793).
+	CapFourOctetAS = 65
+	// CapRouteRefreshCisco is the pre-standard Cisco route-refresh code,
+	// still advertised by Cisco speakers alongside the standard one — the
+	// paper's Figure 2 shows both.
+	CapRouteRefreshCisco = 128
+)
+
+// AFI/SAFI values for the multiprotocol capability.
+const (
+	AFIIPv4 = 1
+	AFIIPv6 = 2
+
+	SAFIUnicast = 1
+)
+
+// Capability is one RFC 5492 capability triplet.
+type Capability struct {
+	// Code identifies the capability.
+	Code uint8
+	// Value is the capability-specific payload; nil for zero-length
+	// capabilities such as route refresh.
+	Value []byte
+}
+
+// NewFourOctetAS builds a 4-octet-AS capability for asn.
+func NewFourOctetAS(asn uint32) Capability {
+	return Capability{Code: CapFourOctetAS, Value: binary.BigEndian.AppendUint32(nil, asn)}
+}
+
+// NewMultiprotocol builds a multiprotocol capability for (afi, safi).
+func NewMultiprotocol(afi uint16, safi uint8) Capability {
+	v := binary.BigEndian.AppendUint16(nil, afi)
+	v = append(v, 0, safi) // reserved byte then SAFI
+	return Capability{Code: CapMultiprotocol, Value: v}
+}
+
+// String names well-known capabilities for logs and table output.
+func (c Capability) String() string {
+	switch c.Code {
+	case CapMultiprotocol:
+		if len(c.Value) == 4 {
+			return fmt.Sprintf("multiprotocol(afi=%d,safi=%d)",
+				binary.BigEndian.Uint16(c.Value), c.Value[3])
+		}
+		return "multiprotocol(malformed)"
+	case CapRouteRefresh:
+		return "route-refresh"
+	case CapRouteRefreshCisco:
+		return "route-refresh-cisco"
+	case CapGracefulRestart:
+		return "graceful-restart"
+	case CapFourOctetAS:
+		if len(c.Value) == 4 {
+			return fmt.Sprintf("four-octet-as(%d)", binary.BigEndian.Uint32(c.Value))
+		}
+		return "four-octet-as(malformed)"
+	default:
+		return fmt.Sprintf("capability-%d", c.Code)
+	}
+}
+
+// OptParam is one optional parameter: a container for capabilities. Real
+// speakers commonly send each capability in its own parameter (as in the
+// paper's Figure 2); the codec accepts and preserves either packing, since
+// the packing itself is part of the device fingerprint.
+type OptParam struct {
+	// Type is the parameter type; only OptParamCapability is generated.
+	Type uint8
+	// Capabilities holds the decoded capabilities for capability parameters.
+	Capabilities []Capability
+	// Raw preserves the payload of non-capability parameters verbatim.
+	Raw []byte
+}
+
+// marshal encodes the parameter as type, length, value.
+func (p *OptParam) marshal() ([]byte, error) {
+	var val []byte
+	if p.Type == OptParamCapability {
+		for _, c := range p.Capabilities {
+			if len(c.Value) > 255 {
+				return nil, fmt.Errorf("bgp: capability %d value too long", c.Code)
+			}
+			val = append(val, c.Code, uint8(len(c.Value)))
+			val = append(val, c.Value...)
+		}
+	} else {
+		val = p.Raw
+	}
+	if len(val) > 255 {
+		return nil, fmt.Errorf("bgp: optional parameter %d too long", p.Type)
+	}
+	return append([]byte{p.Type, uint8(len(val))}, val...), nil
+}
+
+// parseOptParam decodes one parameter from the front of b, returning it and
+// the bytes consumed.
+func parseOptParam(b []byte) (OptParam, int, error) {
+	if len(b) < 2 {
+		return OptParam{}, 0, ErrShortMessage
+	}
+	typ, plen := b[0], int(b[1])
+	if len(b) < 2+plen {
+		return OptParam{}, 0, ErrShortMessage
+	}
+	val := b[2 : 2+plen]
+	p := OptParam{Type: typ}
+	if typ != OptParamCapability {
+		p.Raw = append([]byte(nil), val...)
+		return p, 2 + plen, nil
+	}
+	for len(val) > 0 {
+		if len(val) < 2 {
+			return OptParam{}, 0, fmt.Errorf("bgp: truncated capability header: %w", ErrShortMessage)
+		}
+		code, clen := val[0], int(val[1])
+		if len(val) < 2+clen {
+			return OptParam{}, 0, fmt.Errorf("bgp: truncated capability value: %w", ErrShortMessage)
+		}
+		cap := Capability{Code: code}
+		if clen > 0 {
+			cap.Value = append([]byte(nil), val[2:2+clen]...)
+		}
+		p.Capabilities = append(p.Capabilities, cap)
+		val = val[2+clen:]
+	}
+	return p, 2 + plen, nil
+}

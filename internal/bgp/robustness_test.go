@@ -1,0 +1,64 @@
+package bgp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds the decoder arbitrary byte soup: network-facing
+// parsers must reject, never crash.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse panicked on %x: %v", b, r)
+			}
+		}()
+		_, _, _ = Parse(b)
+		_, _ = ParseHeader(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanicsOnMutatedValid mutates one byte of a valid message at
+// every position — the classic off-by-one hunt.
+func TestParseNeverPanicsOnMutatedValid(t *testing.T) {
+	base, err := figure2Open().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(base); pos++ {
+		for _, delta := range []byte{1, 0x7f, 0xff} {
+			mut := append([]byte(nil), base...)
+			mut[pos] ^= delta
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("Parse panicked with byte %d ^= %#x: %v", pos, delta, r)
+					}
+				}()
+				_, _, _ = Parse(mut)
+			}()
+		}
+	}
+}
+
+// TestParseTruncationsNeverPanic truncates a valid message at every length.
+func TestParseTruncationsNeverPanic(t *testing.T) {
+	base, _ := figure2Open().MarshalBinary()
+	notif, _ := (&Notification{Code: NotifCease, Subcode: CeaseConnectionRejected, Data: []byte{1, 2}}).MarshalBinary()
+	stream := append(base, notif...)
+	for n := 0; n <= len(stream); n++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse panicked at truncation %d: %v", n, r)
+				}
+			}()
+			_, _, _ = Parse(stream[:n])
+		}()
+	}
+}

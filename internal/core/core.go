@@ -1,0 +1,159 @@
+// Package core composes the paper's contribution into one pipeline object:
+// feed it raw protocol scan results (SSH handshakes, BGP OPENs, SNMPv3
+// engine discoveries), and it extracts device identifiers, accumulates
+// observations, and emits alias sets, dual-stack sets, and the
+// cross-protocol union — the end-to-end "alias resolution at the limit"
+// workflow of §2.4.
+//
+// The packages underneath stay single-purpose (ident extracts, alias
+// groups); core is the convenience layer tools and examples build on.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"aliaslimit/internal/alias"
+	"aliaslimit/internal/bgp"
+	"aliaslimit/internal/ident"
+	"aliaslimit/internal/sshwire"
+)
+
+// Resolver accumulates identifier observations and answers set queries.
+// It is safe for concurrent feeding: scans run with many workers.
+type Resolver struct {
+	mu  sync.Mutex
+	obs map[ident.Protocol][]alias.Observation
+	// dropped counts scan results that carried no identifier material.
+	dropped int
+}
+
+// NewResolver returns an empty resolver.
+func NewResolver() *Resolver {
+	return &Resolver{obs: make(map[ident.Protocol][]alias.Observation)}
+}
+
+// AddSSH ingests one SSH scan result for addr. It reports whether the result
+// carried full identifier material (banner + capabilities + host key).
+func (r *Resolver) AddSSH(addr netip.Addr, res *sshwire.ScanResult) bool {
+	id, ok := ident.FromSSH(res)
+	return r.add(addr, id, ok)
+}
+
+// AddBGP ingests one passive BGP scan result for addr.
+func (r *Resolver) AddBGP(addr netip.Addr, res *bgp.ScanResult) bool {
+	id, ok := ident.FromBGP(res)
+	return r.add(addr, id, ok)
+}
+
+// AddSNMPEngineID ingests one SNMPv3 engine discovery for addr.
+func (r *Resolver) AddSNMPEngineID(addr netip.Addr, engineID []byte) bool {
+	id, ok := ident.FromSNMPEngineID(engineID)
+	return r.add(addr, id, ok)
+}
+
+// AddObservation ingests a pre-extracted observation (e.g. loaded from a
+// serialized dataset).
+func (r *Resolver) AddObservation(o alias.Observation) {
+	r.mu.Lock()
+	r.obs[o.ID.Proto] = append(r.obs[o.ID.Proto], o)
+	r.mu.Unlock()
+}
+
+// add records the observation under its protocol.
+func (r *Resolver) add(addr netip.Addr, id ident.Identifier, ok bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !ok {
+		r.dropped++
+		return false
+	}
+	r.obs[id.Proto] = append(r.obs[id.Proto], alias.Observation{Addr: addr, ID: id})
+	return true
+}
+
+// Dropped reports how many ingested results lacked identifier material.
+func (r *Resolver) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Observations returns a copy of the accumulated observations for one
+// protocol.
+func (r *Resolver) Observations(p ident.Protocol) []alias.Observation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]alias.Observation(nil), r.obs[p]...)
+}
+
+// AliasSets groups one protocol's observations into alias sets; singletons
+// are included so callers can choose their own filtering.
+func (r *Resolver) AliasSets(p ident.Protocol) []alias.Set {
+	return alias.Group(r.Observations(p))
+}
+
+// NonSingletonAliasSets is the unit the paper's tables count.
+func (r *Resolver) NonSingletonAliasSets(p ident.Protocol, v4 bool) []alias.Set {
+	return alias.NonSingleton(alias.FilterFamily(r.AliasSets(p), v4))
+}
+
+// UnionAliasSets merges the non-singleton sets of all protocols into the
+// cross-protocol union (§4.1) for one family.
+func (r *Resolver) UnionAliasSets(v4 bool) []alias.Set {
+	var groups [][]alias.Set
+	for _, p := range ident.Protocols {
+		groups = append(groups, alias.NonSingleton(alias.FilterFamily(r.AliasSets(p), v4)))
+	}
+	return alias.NonSingleton(alias.Merge(groups...))
+}
+
+// DualStackSets merges all protocols (singletons included — a dual-stack
+// pair is one v4 plus one v6 observation) and keeps sets spanning both
+// families (§2.4, Table 4).
+func (r *Resolver) DualStackSets() []alias.Set {
+	var groups [][]alias.Set
+	for _, p := range ident.Protocols {
+		groups = append(groups, r.AliasSets(p))
+	}
+	return alias.DualStack(alias.Merge(groups...))
+}
+
+// Validate runs the §2.6 cross-protocol validation between two protocols'
+// observations.
+func (r *Resolver) Validate(a, b ident.Protocol) alias.ValidationResult {
+	_, _, res := alias.CrossValidate(r.Observations(a), r.Observations(b))
+	return res
+}
+
+// Summary is a compact account of the resolver state.
+type Summary struct {
+	// ObsPerProtocol counts observations per protocol.
+	ObsPerProtocol map[string]int
+	// AliasSetsV4 / AliasSetsV6 count union non-singleton sets.
+	AliasSetsV4, AliasSetsV6 int
+	// DualStackSets counts union dual-stack sets.
+	DualStackSets int
+	// Dropped counts identifier-less results.
+	Dropped int
+}
+
+// Summarize computes the summary.
+func (r *Resolver) Summarize() Summary {
+	s := Summary{ObsPerProtocol: make(map[string]int)}
+	for _, p := range ident.Protocols {
+		s.ObsPerProtocol[p.String()] = len(r.Observations(p))
+	}
+	s.AliasSetsV4 = len(r.UnionAliasSets(true))
+	s.AliasSetsV6 = len(r.UnionAliasSets(false))
+	s.DualStackSets = len(r.DualStackSets())
+	s.Dropped = r.Dropped()
+	return s
+}
+
+// String renders the summary for logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("obs=%v aliasSetsV4=%d aliasSetsV6=%d dualStack=%d dropped=%d",
+		s.ObsPerProtocol, s.AliasSetsV4, s.AliasSetsV6, s.DualStackSets, s.Dropped)
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"net"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aliaslimit/internal/alias"
+	"aliaslimit/internal/bgp"
+	"aliaslimit/internal/ident"
+	"aliaslimit/internal/netsim"
+	"aliaslimit/internal/sshwire"
+	"aliaslimit/internal/xrand"
+)
+
+// detRand is a deterministic entropy source for handshakes.
+type detRand struct{ s *xrand.SplitMix64 }
+
+func (r *detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(r.s.Uint64())
+	}
+	return len(p), nil
+}
+
+// sshResultFor runs a real handshake against a server with the given key
+// seed and returns the client's scan result.
+func sshResultFor(t *testing.T, keySeed uint64) *sshwire.ScanResult {
+	t.Helper()
+	_, priv, err := sshwire.GenerateEd25519(&detRand{s: xrand.NewSplitMix64(keySeed)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sshwire.Profiles[0]
+	client, server := net.Pipe()
+	go sshwire.NewServer(sshwire.ServerConfig{
+		Banner: p.Banner, Algorithms: p.Algorithms, HostKey: priv,
+	}).Serve(server, netsim.ServeContext{})
+	res, err := sshwire.Scan(client, sshwire.ScanConfig{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func bgpResultFor(routerID uint32) *bgp.ScanResult {
+	o := &bgp.Open{Version: 4, MyAS: 65001, HoldTime: 90, BGPIdentifier: routerID}
+	enc, _ := o.MarshalBinary()
+	return &bgp.ScanResult{Open: o, OpenLen: uint16(len(enc))}
+}
+
+func TestResolverEndToEnd(t *testing.T) {
+	r := NewResolver()
+	resA := sshResultFor(t, 1)
+
+	// One device with two v4 addresses and one v6 — same key material.
+	a1 := netip.MustParseAddr("10.0.0.1")
+	a2 := netip.MustParseAddr("10.0.0.2")
+	a6 := netip.MustParseAddr("2001:db8::1")
+	for _, a := range []netip.Addr{a1, a2, a6} {
+		if !r.AddSSH(a, resA) {
+			t.Fatal("AddSSH rejected full material")
+		}
+	}
+	// A different device.
+	resB := sshResultFor(t, 2)
+	b1 := netip.MustParseAddr("10.0.1.1")
+	if !r.AddSSH(b1, resB) {
+		t.Fatal("AddSSH rejected device B")
+	}
+
+	sets := r.NonSingletonAliasSets(ident.SSH, true)
+	if len(sets) != 1 || sets[0].Signature() != "10.0.0.1,10.0.0.2" {
+		t.Errorf("v4 alias sets = %v", sets)
+	}
+	ds := r.DualStackSets()
+	if len(ds) != 1 || !ds[0].Contains(a6) {
+		t.Errorf("dual-stack sets = %v", ds)
+	}
+	union := r.UnionAliasSets(true)
+	if len(union) != 1 {
+		t.Errorf("union sets = %v", union)
+	}
+}
+
+func TestResolverRejectsPartialResults(t *testing.T) {
+	r := NewResolver()
+	if r.AddSSH(netip.MustParseAddr("10.0.0.1"), &sshwire.ScanResult{Banner: "SSH-2.0-X"}) {
+		t.Error("partial SSH result accepted")
+	}
+	if r.AddBGP(netip.MustParseAddr("10.0.0.2"), &bgp.ScanResult{SilentClose: true}) {
+		t.Error("silent BGP result accepted")
+	}
+	if r.AddSNMPEngineID(netip.MustParseAddr("10.0.0.3"), nil) {
+		t.Error("empty engine ID accepted")
+	}
+	if r.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", r.Dropped())
+	}
+}
+
+func TestResolverBGPAndSNMP(t *testing.T) {
+	r := NewResolver()
+	res := bgpResultFor(42)
+	r.AddBGP(netip.MustParseAddr("10.0.0.1"), res)
+	r.AddBGP(netip.MustParseAddr("10.0.0.2"), res)
+	r.AddSNMPEngineID(netip.MustParseAddr("10.0.0.2"), []byte{1, 2, 3, 4, 5})
+	r.AddSNMPEngineID(netip.MustParseAddr("10.0.0.3"), []byte{1, 2, 3, 4, 5})
+
+	if got := r.NonSingletonAliasSets(ident.BGP, true); len(got) != 1 {
+		t.Errorf("BGP sets = %v", got)
+	}
+	// Union glues BGP {1,2} and SNMP {2,3} into {1,2,3}.
+	union := r.UnionAliasSets(true)
+	if len(union) != 1 || union[0].Size() != 3 {
+		t.Errorf("union = %v", union)
+	}
+}
+
+func TestResolverValidate(t *testing.T) {
+	r := NewResolver()
+	resA := sshResultFor(t, 3)
+	bgpA := bgpResultFor(7)
+	for _, s := range []string{"10.0.0.1", "10.0.0.2"} {
+		a := netip.MustParseAddr(s)
+		r.AddSSH(a, resA)
+		r.AddBGP(a, bgpA)
+	}
+	v := r.Validate(ident.SSH, ident.BGP)
+	if v.Sample != 1 || v.Agree != 1 {
+		t.Errorf("validation = %+v", v)
+	}
+}
+
+func TestResolverConcurrentFeed(t *testing.T) {
+	r := NewResolver()
+	res := bgpResultFor(9)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				a := netip.AddrFrom4([4]byte{10, byte(w), byte(i / 250), byte(i%250 + 1)})
+				r.AddBGP(a, res)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(r.Observations(ident.BGP)); got != 800 {
+		t.Errorf("observations = %d, want 800", got)
+	}
+	if got := r.NonSingletonAliasSets(ident.BGP, true); len(got) != 1 || got[0].Size() != 800 {
+		t.Errorf("sets = %d", len(got))
+	}
+}
+
+func TestResolverAddObservationAndSummary(t *testing.T) {
+	r := NewResolver()
+	id := ident.Identifier{Proto: ident.SSH, Digest: "x"}
+	r.AddObservation(alias.Observation{Addr: netip.MustParseAddr("10.0.0.1"), ID: id})
+	r.AddObservation(alias.Observation{Addr: netip.MustParseAddr("2001:db8::9"), ID: id})
+	s := r.Summarize()
+	if s.ObsPerProtocol["SSH"] != 2 {
+		t.Errorf("summary obs = %v", s.ObsPerProtocol)
+	}
+	if s.DualStackSets != 1 {
+		t.Errorf("summary dual-stack = %d", s.DualStackSets)
+	}
+	if !strings.Contains(s.String(), "dualStack=1") {
+		t.Errorf("summary string = %q", s.String())
+	}
+}

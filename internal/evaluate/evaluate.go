@@ -1,0 +1,135 @@
+// Package evaluate scores an inferred alias partition against ground truth —
+// something the paper could not do (the real Internet has no ground truth;
+// §2.6 resorts to cross-technique agreement) but a simulated world can. The
+// standard clustering metrics over address pairs apply:
+//
+//	precision = true-alias pairs among inferred pairs
+//	recall    = inferred pairs among all true pairs (restricted to the
+//	            addresses the inference observed)
+//
+// A pair of addresses is "true" when both sit on one device.
+package evaluate
+
+import (
+	"fmt"
+	"net/netip"
+
+	"aliaslimit/internal/alias"
+)
+
+// Metrics holds pairwise clustering scores.
+type Metrics struct {
+	// TruePairs counts correctly inferred same-device pairs.
+	TruePairs int
+	// FalsePairs counts inferred pairs whose addresses sit on different
+	// devices (false merges: shared keys, churn artefacts).
+	FalsePairs int
+	// MissedPairs counts same-device pairs the inference separated or
+	// never grouped, over the observed addresses only.
+	MissedPairs int
+}
+
+// Precision returns TruePairs / inferred pairs (1.0 when nothing inferred).
+func (m Metrics) Precision() float64 {
+	den := m.TruePairs + m.FalsePairs
+	if den == 0 {
+		return 1
+	}
+	return float64(m.TruePairs) / float64(den)
+}
+
+// Recall returns TruePairs / true pairs over observed addresses (1.0 when
+// there is nothing to find).
+func (m Metrics) Recall() float64 {
+	den := m.TruePairs + m.MissedPairs
+	if den == 0 {
+		return 1
+	}
+	return float64(m.TruePairs) / float64(den)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (m Metrics) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the metrics for logs.
+func (m Metrics) String() string {
+	return fmt.Sprintf("precision=%.4f recall=%.4f f1=%.4f (tp=%d fp=%d fn=%d)",
+		m.Precision(), m.Recall(), m.F1(), m.TruePairs, m.FalsePairs, m.MissedPairs)
+}
+
+// Pairwise scores inferred sets against the true owner of every address.
+// truthOwner maps address → device identity; addresses missing from the map
+// are treated as unknown and skipped (they cannot be scored). Recall is
+// computed over the addresses that appear in the inferred sets, mirroring
+// how a measurement can only be judged on what it observed.
+func Pairwise(inferred []alias.Set, truthOwner map[netip.Addr]string) Metrics {
+	var m Metrics
+
+	// Inferred pairs: same set ⇒ inferred alias.
+	for _, s := range inferred {
+		for i := 0; i < len(s.Addrs); i++ {
+			oi, ok := truthOwner[s.Addrs[i]]
+			if !ok {
+				continue
+			}
+			for j := i + 1; j < len(s.Addrs); j++ {
+				oj, ok := truthOwner[s.Addrs[j]]
+				if !ok {
+					continue
+				}
+				if oi == oj {
+					m.TruePairs++
+				} else {
+					m.FalsePairs++
+				}
+			}
+		}
+	}
+
+	// Missed pairs: same true device, observed, but in different (or no
+	// common) inferred sets. Group observed addresses by owner, count true
+	// pairs, subtract the found ones.
+	setOf := make(map[netip.Addr]int)
+	for i, s := range inferred {
+		for _, a := range s.Addrs {
+			setOf[a] = i + 1
+		}
+	}
+	byOwner := make(map[string][]netip.Addr)
+	for a := range setOf {
+		if owner, ok := truthOwner[a]; ok {
+			byOwner[owner] = append(byOwner[owner], a)
+		}
+	}
+	for _, addrs := range byOwner {
+		truePairs := len(addrs) * (len(addrs) - 1) / 2
+		found := 0
+		for i := 0; i < len(addrs); i++ {
+			for j := i + 1; j < len(addrs); j++ {
+				if setOf[addrs[i]] == setOf[addrs[j]] {
+					found++
+				}
+			}
+		}
+		m.MissedPairs += truePairs - found
+	}
+	return m
+}
+
+// OwnerMap flattens a device→addresses ground truth (as topo's Truth stores
+// it) into the address→device form Pairwise consumes.
+func OwnerMap(truth map[string][]netip.Addr) map[netip.Addr]string {
+	out := make(map[netip.Addr]string)
+	for dev, addrs := range truth {
+		for _, a := range addrs {
+			out[a] = dev
+		}
+	}
+	return out
+}

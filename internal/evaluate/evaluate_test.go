@@ -1,0 +1,145 @@
+package evaluate
+
+import (
+	"math"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"aliaslimit/internal/alias"
+)
+
+func owner(pairs ...string) map[netip.Addr]string {
+	m := make(map[netip.Addr]string)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		m[netip.MustParseAddr(pairs[i])] = pairs[i+1]
+	}
+	return m
+}
+
+func set(ss ...string) alias.Set {
+	var a []netip.Addr
+	for _, s := range ss {
+		a = append(a, netip.MustParseAddr(s))
+	}
+	return alias.NewSet(a...)
+}
+
+func TestPerfectInference(t *testing.T) {
+	truth := owner(
+		"10.0.0.1", "d1", "10.0.0.2", "d1", "10.0.0.3", "d1",
+		"10.0.1.1", "d2", "10.0.1.2", "d2",
+	)
+	inferred := []alias.Set{
+		set("10.0.0.1", "10.0.0.2", "10.0.0.3"),
+		set("10.0.1.1", "10.0.1.2"),
+	}
+	m := Pairwise(inferred, truth)
+	if m.TruePairs != 4 || m.FalsePairs != 0 || m.MissedPairs != 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.Precision() != 1 || m.Recall() != 1 || m.F1() != 1 {
+		t.Errorf("scores = %s", m)
+	}
+}
+
+func TestFalseMerge(t *testing.T) {
+	truth := owner("10.0.0.1", "d1", "10.0.0.2", "d1", "10.0.0.3", "d2")
+	inferred := []alias.Set{set("10.0.0.1", "10.0.0.2", "10.0.0.3")}
+	m := Pairwise(inferred, truth)
+	if m.TruePairs != 1 || m.FalsePairs != 2 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if p := m.Precision(); math.Abs(p-1.0/3) > 1e-12 {
+		t.Errorf("precision = %v", p)
+	}
+	if m.Recall() != 1 {
+		t.Errorf("recall = %v", m.Recall())
+	}
+}
+
+func TestSplitDevice(t *testing.T) {
+	truth := owner("10.0.0.1", "d1", "10.0.0.2", "d1", "10.0.0.3", "d1", "10.0.0.4", "d1")
+	inferred := []alias.Set{
+		set("10.0.0.1", "10.0.0.2"),
+		set("10.0.0.3", "10.0.0.4"),
+	}
+	m := Pairwise(inferred, truth)
+	// 6 true pairs over the 4 observed addrs; 2 found, 4 missed.
+	if m.TruePairs != 2 || m.MissedPairs != 4 || m.FalsePairs != 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if r := m.Recall(); math.Abs(r-1.0/3) > 1e-12 {
+		t.Errorf("recall = %v", r)
+	}
+	if m.Precision() != 1 {
+		t.Errorf("precision = %v", m.Precision())
+	}
+}
+
+func TestUnknownAddressesSkipped(t *testing.T) {
+	truth := owner("10.0.0.1", "d1", "10.0.0.2", "d1")
+	inferred := []alias.Set{set("10.0.0.1", "10.0.0.2", "10.9.9.9")}
+	m := Pairwise(inferred, truth)
+	if m.TruePairs != 1 || m.FalsePairs != 0 {
+		t.Errorf("metrics = %+v (unknown address should not count)", m)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	m := Pairwise(nil, nil)
+	if m.Precision() != 1 || m.Recall() != 1 || m.F1() != 1 {
+		t.Errorf("empty metrics = %s", m)
+	}
+	if !strings.Contains(m.String(), "precision=1.0000") {
+		t.Errorf("string = %q", m.String())
+	}
+}
+
+func TestOwnerMap(t *testing.T) {
+	truth := map[string][]netip.Addr{
+		"d1": {netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2")},
+		"d2": {netip.MustParseAddr("10.0.1.1")},
+	}
+	om := OwnerMap(truth)
+	if len(om) != 3 || om[netip.MustParseAddr("10.0.0.2")] != "d1" {
+		t.Errorf("OwnerMap = %v", om)
+	}
+}
+
+func TestMetricsBoundsProperty(t *testing.T) {
+	f := func(assign []uint8, split []bool) bool {
+		// Random truth over 24 addresses, random inferred partition built
+		// by cutting the truth sets: precision and recall must stay in
+		// [0,1] and F1 <= min-ish consistency.
+		truth := make(map[netip.Addr]string)
+		byOwner := map[string][]netip.Addr{}
+		for i, o := range assign {
+			if i >= 24 {
+				break
+			}
+			a := netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)})
+			dev := string(rune('a' + o%5))
+			truth[a] = dev
+			byOwner[dev] = append(byOwner[dev], a)
+		}
+		var inferred []alias.Set
+		k := 0
+		for _, addrs := range byOwner {
+			if len(split) > 0 && split[k%len(split)] && len(addrs) > 1 {
+				inferred = append(inferred, alias.NewSet(addrs[:1]...), alias.NewSet(addrs[1:]...))
+			} else {
+				inferred = append(inferred, alias.NewSet(addrs...))
+			}
+			k++
+		}
+		m := Pairwise(inferred, truth)
+		p, r, f1 := m.Precision(), m.Recall(), m.F1()
+		return p >= 0 && p <= 1 && r >= 0 && r <= 1 && f1 >= 0 && f1 <= 1 &&
+			m.FalsePairs == 0 && p == 1 // cutting truth sets never merges wrongly
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

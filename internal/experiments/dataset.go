@@ -1,0 +1,105 @@
+// Package experiments implements one harness per table and figure of the
+// paper's evaluation: it scans a synthetic world from the two vantage
+// points (active, Censys), extracts identifiers, runs the alias/dual-stack
+// inference, and renders the same rows and curves the paper reports.
+package experiments
+
+import (
+	"net/netip"
+	"sort"
+
+	"aliaslimit/internal/alias"
+	"aliaslimit/internal/ident"
+)
+
+// Dataset is one source's scan yield: identifier observations per protocol,
+// IPv4 and IPv6 mixed (family splits happen at analysis time, as in the
+// paper's tables).
+type Dataset struct {
+	// Name is the source label ("Active", "Censys", "Union").
+	Name string
+	// Obs maps protocol to its identifier observations.
+	Obs map[ident.Protocol][]alias.Observation
+	// NonStandardPortSSH counts SSH services found on non-default ports
+	// and excluded from analysis (the paper drops Censys's 5.6M of them).
+	NonStandardPortSSH int
+}
+
+// NewDataset returns an empty dataset.
+func NewDataset(name string) *Dataset {
+	return &Dataset{Name: name, Obs: make(map[ident.Protocol][]alias.Observation)}
+}
+
+// Add appends one observation.
+func (d *Dataset) Add(p ident.Protocol, o alias.Observation) {
+	d.Obs[p] = append(d.Obs[p], o)
+}
+
+// Addrs returns the distinct responsive addresses for a protocol, optionally
+// filtered to one family (v4=true/false; pass nil for both), sorted.
+func (d *Dataset) Addrs(p ident.Protocol, v4 *bool) []netip.Addr {
+	seen := make(map[netip.Addr]bool)
+	for _, o := range d.Obs[p] {
+		if v4 != nil && o.Addr.Is4() != *v4 {
+			continue
+		}
+		seen[o.Addr] = true
+	}
+	out := make([]netip.Addr, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// AllAddrs returns the distinct addresses across every protocol (Table 1's
+// union row), optionally family-filtered.
+func (d *Dataset) AllAddrs(v4 *bool) []netip.Addr {
+	seen := make(map[netip.Addr]bool)
+	for _, obs := range d.Obs {
+		for _, o := range obs {
+			if v4 != nil && o.Addr.Is4() != *v4 {
+				continue
+			}
+			seen[o.Addr] = true
+		}
+	}
+	out := make([]netip.Addr, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Sets groups a protocol's observations into alias sets (all sizes).
+func (d *Dataset) Sets(p ident.Protocol) []alias.Set {
+	return alias.Group(d.Obs[p])
+}
+
+// Union merges several datasets into one named dataset; duplicate
+// observations collapse during grouping.
+func Union(name string, parts ...*Dataset) *Dataset {
+	out := NewDataset(name)
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		for proto, obs := range p.Obs {
+			out.Obs[proto] = append(out.Obs[proto], obs...)
+		}
+		out.NonStandardPortSSH += p.NonStandardPortSSH
+	}
+	return out
+}
+
+// v4ptr and v6ptr are family selectors for Addrs/AllAddrs.
+var (
+	v4true  = true
+	v4false = false
+	// V4 selects IPv4 observations.
+	V4 = &v4true
+	// V6 selects IPv6 observations.
+	V6 = &v4false
+)

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"aliaslimit/internal/topo"
+)
+
+// Env is a fully measured environment: the world plus the two datasets and
+// their union — everything the tables and figures read from.
+type Env struct {
+	// World is the synthetic Internet.
+	World *topo.World
+	// Active is the single-vantage measurement (taken three simulated weeks
+	// after the Censys snapshot, as in the paper: March 28 → April 18).
+	Active *Dataset
+	// Censys is the snapshot dataset (IPv4 only).
+	Censys *Dataset
+	// Both is Union(Active, Censys), the default analysis input.
+	Both *Dataset
+}
+
+// Options parameterise environment construction.
+type Options struct {
+	// Topo configures world generation; zero value selects topo.Default().
+	Topo topo.Config
+	// Scan configures collection.
+	Scan ScanOptions
+	// SnapshotGap is the simulated time between the Censys snapshot and
+	// the active scan; zero picks the paper's three weeks.
+	SnapshotGap time.Duration
+	// ChurnFraction is the share of dynamic addresses reassigned during
+	// the gap; negative disables churn, zero picks 2%.
+	ChurnFraction float64
+}
+
+// BuildEnv generates a world and measures it from both vantage points in
+// the paper's chronology: Censys first, churn and clock advance, then the
+// active scan.
+func BuildEnv(opts Options) (*Env, error) {
+	cfg := opts.Topo
+	if cfg.Scale == 0 {
+		cfg = topo.Default()
+	}
+	gap := opts.SnapshotGap
+	if gap == 0 {
+		gap = 21 * 24 * time.Hour
+	}
+	churn := opts.ChurnFraction
+	if churn == 0 {
+		churn = 0.02
+	}
+
+	w, err := topo.Build(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building world: %w", err)
+	}
+	censys, err := CollectCensys(w, opts.Scan)
+	if err != nil {
+		return nil, err
+	}
+	w.Clock.Advance(gap)
+	if churn > 0 {
+		w.ApplyChurn(churn, 1)
+	}
+	active, err := CollectActive(w, opts.Scan)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		World:  w,
+		Active: active,
+		Censys: censys,
+		Both:   Union("Union", active, censys),
+	}, nil
+}

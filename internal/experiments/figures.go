@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"aliaslimit/internal/alias"
+	"aliaslimit/internal/asview"
+	"aliaslimit/internal/ecdf"
+	"aliaslimit/internal/ident"
+)
+
+// Figure is a rendered distribution figure: named ECDF curves evaluated on a
+// shared x-axis, plus the text rendering.
+type Figure struct {
+	// ID names the experiment ("Figure 3").
+	ID string
+	// Title is the caption.
+	Title string
+	// XLabel labels the x axis.
+	XLabel string
+	// XS are the evaluation points.
+	XS []float64
+	// Series are the curves.
+	Series []ecdf.Series
+}
+
+// Render prints the figure data as an aligned text table.
+func (f *Figure) Render() string {
+	return ecdf.Render(f.ID+": "+f.Title, f.XLabel, f.XS, f.Series)
+}
+
+// sizesOf lists non-singleton set sizes.
+func sizesOf(sets []alias.Set) []int {
+	ns := alias.NonSingleton(sets)
+	out := make([]int, len(ns))
+	for i, s := range ns {
+		out[i] = s.Size()
+	}
+	return out
+}
+
+// Figure3 regenerates the ECDF of IPv4 addresses per alias set for each
+// source × protocol combination the paper plots.
+func (e *Env) Figure3() *Figure {
+	curve := func(name string, ds *Dataset, p ident.Protocol) ecdf.Series {
+		return ecdf.Series{Name: name, E: ecdf.FromInts(sizesOf(protocolFamilySets(ds, p, true)))}
+	}
+	return &Figure{
+		ID:     "Figure 3",
+		Title:  "IPv4 addresses per alias set (ECDF)",
+		XLabel: "addrs/set",
+		XS:     ecdf.LogXPoints(4, 3),
+		Series: []ecdf.Series{
+			curve("Censys BGP", e.Censys, ident.BGP),
+			curve("Active BGP", e.Active, ident.BGP),
+			curve("Censys SSH", e.Censys, ident.SSH),
+			curve("Active SSH", e.Active, ident.SSH),
+			curve("Active SNMPv3", e.Active, ident.SNMP),
+		},
+	}
+}
+
+// Figure4 regenerates the ECDF of IPv6 addresses per alias set (active
+// measurements only, as in the paper).
+func (e *Env) Figure4() *Figure {
+	curve := func(name string, p ident.Protocol) ecdf.Series {
+		return ecdf.Series{Name: name, E: ecdf.FromInts(sizesOf(protocolFamilySets(e.Active, p, false)))}
+	}
+	return &Figure{
+		ID:     "Figure 4",
+		Title:  "IPv6 addresses per alias set (ECDF)",
+		XLabel: "addrs/set",
+		XS:     ecdf.LogXPoints(4, 3),
+		Series: []ecdf.Series{
+			curve("Active SSH", ident.SSH),
+			curve("Active BGP", ident.BGP),
+			curve("Active SNMPv3", ident.SNMP),
+		},
+	}
+}
+
+// Figure5 regenerates the ECDF of distinct ASes per IPv4 alias set for each
+// protocol: the curve that shows BGP sets crossing AS boundaries far more
+// often than SSH or SNMPv3 sets.
+func (e *Env) Figure5() *Figure {
+	m := e.mapper()
+	curve := func(name string, ds *Dataset, p ident.Protocol) ecdf.Series {
+		spread := asview.SpreadPerSet(m, alias.NonSingleton(protocolFamilySets(ds, p, true)))
+		return ecdf.Series{Name: name, E: ecdf.FromInts(spread)}
+	}
+	return &Figure{
+		ID:     "Figure 5",
+		Title:  "ASes per IPv4 alias set (ECDF)",
+		XLabel: "ASes/set",
+		XS:     ecdf.LinearXPoints(20, 1),
+		Series: []ecdf.Series{
+			curve("SSH", e.Both, ident.SSH),
+			curve("BGP", e.Both, ident.BGP),
+			curve("SNMPv3", e.Active, ident.SNMP),
+		},
+	}
+}
+
+// Figure6 regenerates the ECDF of the number of alias sets and dual-stack
+// sets per AS.
+func (e *Env) Figure6() *Figure {
+	m := e.mapper()
+	aliasUnion := alias.NonSingleton(alias.Merge(
+		alias.NonSingleton(protocolFamilySets(e.Both, ident.SSH, true)),
+		alias.NonSingleton(protocolFamilySets(e.Both, ident.BGP, true)),
+		alias.NonSingleton(protocolFamilySets(e.Active, ident.SNMP, true)),
+	))
+	dualUnion := alias.DualStack(alias.Merge(
+		e.Both.Sets(ident.SSH), e.Both.Sets(ident.BGP), e.Both.Sets(ident.SNMP)))
+
+	countsToInts := func(counts map[uint32]int) []int {
+		out := make([]int, 0, len(counts))
+		for _, c := range counts {
+			out = append(out, c)
+		}
+		return out
+	}
+	return &Figure{
+		ID:     "Figure 6",
+		Title:  "Number of sets per AS (ECDF)",
+		XLabel: "sets/AS",
+		XS:     ecdf.LogXPoints(5, 3),
+		Series: []ecdf.Series{
+			{Name: "Alias Sets", E: ecdf.FromInts(countsToInts(asview.SetsPerAS(m, aliasUnion)))},
+			{Name: "Dual-Stack Sets", E: ecdf.FromInts(countsToInts(asview.SetsPerAS(m, dualUnion)))},
+		},
+	}
+}

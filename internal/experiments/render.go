@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: one of the paper's numbered tables.
+type Table struct {
+	// ID names the experiment ("Table 1").
+	ID string
+	// Title is the caption.
+	Title string
+	// Header labels the columns.
+	Header []string
+	// Rows hold already-formatted cells.
+	Rows [][]string
+	// Notes carry the in-text statistics the paper quotes around the table.
+	Notes []string
+}
+
+// Render prints the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// count formats integers compactly, mirroring the paper's "15.9M"/"505k"
+// style above 10,000 and exact values below.
+func count(n int) string {
+	switch {
+	case n >= 10_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// setsAndAddrs renders the paper's "sets (addrs)" cell form.
+func setsAndAddrs(sets, addrs int) string {
+	return fmt.Sprintf("%s (%s)", count(sets), count(addrs))
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"aliaslimit/internal/ident"
+)
+
+func TestCountFormatting(t *testing.T) {
+	cases := map[int]string{
+		0:          "0",
+		12:         "12",
+		9999:       "9999",
+		10000:      "10.0k",
+		15900:      "15.9k",
+		364000:     "364.0k",
+		9999999:    "10000.0k",
+		10000000:   "10.0M",
+		24400000:   "24.4M",
+		1400000000: "1400.0M",
+	}
+	for in, want := range cases {
+		if got := count(in); got != want {
+			t.Errorf("count(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSetsAndAddrs(t *testing.T) {
+	if got := setsAndAddrs(12000, 175000); got != "12.0k (175.0k)" {
+		t.Errorf("setsAndAddrs = %q", got)
+	}
+	if got := setsAndAddrs(12, 175); got != "12 (175)" {
+		t.Errorf("setsAndAddrs = %q", got)
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := &Table{
+		ID:     "Table X",
+		Title:  "Alignment check",
+		Header: []string{"Col", "LongerColumn"},
+		Rows: [][]string{
+			{"a-very-long-cell", "b"},
+			{"c", "d"},
+		},
+		Notes: []string{"a note"},
+	}
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, separator, 2 rows, note
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Header, separator, and rows must share column positions: the second
+	// column starts at the same offset everywhere.
+	idx := strings.Index(lines[1], "LongerColumn")
+	if idx < 0 {
+		t.Fatal("header missing")
+	}
+	for _, ln := range lines[3:5] {
+		if len(ln) <= idx {
+			t.Errorf("row shorter than header offset: %q", ln)
+		}
+	}
+	if !strings.HasPrefix(lines[5], "note: ") {
+		t.Errorf("note line = %q", lines[5])
+	}
+}
+
+func TestDatasetAccessors(t *testing.T) {
+	e := testEnv(t)
+	if len(e.Both.Addrs(ident.SSH, V4)) == 0 {
+		t.Error("no SSH IPv4 addresses in union dataset")
+	}
+	// Addrs must be sorted and family-pure.
+	for _, sel := range []*bool{V4, V6} {
+		addrs := e.Both.AllAddrs(sel)
+		for i, a := range addrs {
+			if a.Is4() != *sel {
+				t.Fatalf("family filter leaked %s", a)
+			}
+			if i > 0 && !addrs[i-1].Less(a) {
+				t.Fatal("AllAddrs not sorted")
+			}
+		}
+	}
+	both := e.Both.AllAddrs(nil)
+	if len(both) != len(e.Both.AllAddrs(V4))+len(e.Both.AllAddrs(V6)) {
+		t.Error("nil selector should return both families")
+	}
+}

@@ -1,0 +1,38 @@
+// Package hitlist models the IPv6 hitlist problem: the IPv6 space cannot be
+// swept, so active scans target a curated list of known-responsive
+// addresses (Gasser et al., IMC '18). A hitlist always lags reality, which
+// bounds the paper's IPv6 results — its §2.7 notes the limitation
+// explicitly. Sample reproduces that: it covers only a configurable
+// fraction of the addresses that actually exist.
+package hitlist
+
+import (
+	"net/netip"
+	"sort"
+
+	"aliaslimit/internal/xrand"
+)
+
+// Sample returns a deterministic pseudo-random subset of the true IPv6
+// population with approximately the given coverage (0..1). The selection is
+// keyed per address so growing the population does not reshuffle prior
+// members — just like a real hitlist accretes.
+func Sample(population []netip.Addr, coverage float64, seed uint64) []netip.Addr {
+	if coverage >= 1 {
+		out := append([]netip.Addr(nil), population...)
+		sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+		return out
+	}
+	if coverage <= 0 {
+		return nil
+	}
+	var out []netip.Addr
+	seedKey := string(rune(seed)) // stable per-seed discriminator
+	for _, a := range population {
+		if xrand.Prob("hitlist", seedKey, a.String()) < coverage {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

@@ -1,0 +1,70 @@
+package hitlist
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func population(n int) []netip.Addr {
+	var out []netip.Addr
+	for i := 0; i < n; i++ {
+		var b [16]byte
+		b[0], b[1] = 0x2a, 0x00
+		b[14], b[15] = byte(i>>8), byte(i)
+		out = append(out, netip.AddrFrom16(b))
+	}
+	return out
+}
+
+func TestSampleCoverage(t *testing.T) {
+	pop := population(4000)
+	got := Sample(pop, 0.75, 1)
+	frac := float64(len(got)) / float64(len(pop))
+	if frac < 0.70 || frac > 0.80 {
+		t.Errorf("coverage = %.3f, want ~0.75", frac)
+	}
+	for i := 1; i < len(got); i++ {
+		if !got[i-1].Less(got[i]) {
+			t.Fatal("hitlist not sorted")
+		}
+	}
+}
+
+func TestSampleDeterministicAndStable(t *testing.T) {
+	pop := population(1000)
+	a := Sample(pop, 0.5, 3)
+	b := Sample(pop, 0.5, 3)
+	if len(a) != len(b) {
+		t.Fatal("not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	// Accretion property: members chosen from a smaller population remain
+	// chosen when the population grows.
+	small := Sample(pop[:500], 0.5, 3)
+	inBig := map[netip.Addr]bool{}
+	for _, x := range a {
+		inBig[x] = true
+	}
+	for _, x := range small {
+		if !inBig[x] {
+			t.Fatalf("address %s dropped when population grew", x)
+		}
+	}
+}
+
+func TestSampleEdges(t *testing.T) {
+	pop := population(100)
+	if got := Sample(pop, 1.0, 1); len(got) != 100 {
+		t.Errorf("full coverage = %d", len(got))
+	}
+	if got := Sample(pop, 0, 1); got != nil {
+		t.Errorf("zero coverage = %v", got)
+	}
+	if got := Sample(nil, 0.5, 1); len(got) != 0 {
+		t.Errorf("empty population = %v", got)
+	}
+}

@@ -1,0 +1,96 @@
+// Package iffinder implements the earliest alias-resolution technique, the
+// common source address method (CAIDA's iffinder), which the paper's
+// introduction describes: send a UDP datagram to a closed port; if the ICMP
+// port-unreachable comes back from a *different* address than the one
+// probed, the two addresses are aliases of one device.
+//
+// The technique is included as a baseline because it motivates the paper:
+// many routers answer from the probed address or not at all, so its yield is
+// poor — which this implementation reproduces over the simulated fabric.
+package iffinder
+
+import (
+	"net/netip"
+	"sort"
+
+	"aliaslimit/internal/alias"
+)
+
+// Prober supplies the UDP-to-closed-port primitive; netsim.Vantage
+// implements it.
+type Prober interface {
+	UDPProbe(addr netip.Addr, port uint16) (from netip.Addr, ok bool)
+}
+
+// ProbePort is the conventional high closed port (traceroute's base port).
+const ProbePort = 33434
+
+// Outcome classifies one probe.
+type Outcome int
+
+const (
+	// OutcomeSilent: no ICMP at all.
+	OutcomeSilent Outcome = iota
+	// OutcomeSameAddr: ICMP sourced from the probed address — alive but no
+	// alias information.
+	OutcomeSameAddr
+	// OutcomeAlias: ICMP sourced from a different address — an alias pair.
+	OutcomeAlias
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeSilent:
+		return "silent"
+	case OutcomeSameAddr:
+		return "same-addr"
+	case OutcomeAlias:
+		return "alias"
+	default:
+		return "unknown"
+	}
+}
+
+// Result aggregates one run.
+type Result struct {
+	// Sets are the inferred alias sets (non-singleton only): each probed
+	// address grouped with the canonical responder address.
+	Sets []alias.Set
+	// Outcomes counts probe classifications.
+	Outcomes map[Outcome]int
+}
+
+// Resolve probes every target once and groups targets by ICMP source
+// address. Two targets whose errors share a source are aliases of the device
+// owning that source; the source itself joins the set (it is an address of
+// the same device by construction).
+func Resolve(p Prober, targets []netip.Addr) *Result {
+	res := &Result{Outcomes: make(map[Outcome]int)}
+	bySource := make(map[netip.Addr][]netip.Addr)
+	for _, t := range targets {
+		from, ok := p.UDPProbe(t, ProbePort)
+		switch {
+		case !ok:
+			res.Outcomes[OutcomeSilent]++
+		case from == t:
+			res.Outcomes[OutcomeSameAddr]++
+			// Alive but uninformative: record under itself so that other
+			// probes resolving to t still merge with it.
+			bySource[t] = append(bySource[t], t)
+		default:
+			res.Outcomes[OutcomeAlias]++
+			bySource[from] = append(bySource[from], t, from)
+		}
+	}
+	for _, addrs := range bySource {
+		s := alias.NewSet(addrs...)
+		if s.Size() >= 2 {
+			res.Sets = append(res.Sets, s)
+		}
+	}
+	sort.Slice(res.Sets, func(i, j int) bool {
+		return res.Sets[i].Addrs[0].Less(res.Sets[j].Addrs[0])
+	})
+	return res
+}

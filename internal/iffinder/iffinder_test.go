@@ -1,0 +1,76 @@
+package iffinder
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"aliaslimit/internal/netsim"
+)
+
+func TestResolve(t *testing.T) {
+	clk := netsim.NewSimClock(time.Unix(0, 0))
+	f := netsim.New(clk)
+	add := func(id string, cfg netsim.DeviceConfig) {
+		cfg.ID = id
+		d, err := netsim.NewDevice(cfg, clk.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.AddDevice(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk := func(ss ...string) []netip.Addr {
+		var out []netip.Addr
+		for _, s := range ss {
+			out = append(out, netip.MustParseAddr(s))
+		}
+		return out
+	}
+	// Cooperative router: answers from canonical address.
+	add("r1", netsim.DeviceConfig{Addrs: mk("10.1.0.1", "10.1.0.2", "10.1.0.3")})
+	// Uncooperative: responds from probed address.
+	add("r2", netsim.DeviceConfig{Addrs: mk("10.2.0.1", "10.2.0.2"), RespondsFromProbed: true})
+	// Silent.
+	add("r3", netsim.DeviceConfig{Addrs: mk("10.3.0.1"), ICMPSilent: true})
+
+	targets := mk("10.1.0.2", "10.1.0.3", "10.2.0.1", "10.2.0.2", "10.3.0.1", "10.9.9.9")
+	res := Resolve(f.Vantage("iff"), targets)
+
+	if res.Outcomes[OutcomeAlias] != 2 {
+		t.Errorf("alias outcomes = %d, want 2", res.Outcomes[OutcomeAlias])
+	}
+	if res.Outcomes[OutcomeSameAddr] != 2 {
+		t.Errorf("same-addr outcomes = %d, want 2", res.Outcomes[OutcomeSameAddr])
+	}
+	if res.Outcomes[OutcomeSilent] != 2 {
+		t.Errorf("silent outcomes = %d, want 2", res.Outcomes[OutcomeSilent])
+	}
+	if len(res.Sets) != 1 {
+		t.Fatalf("sets = %v, want one (r1)", res.Sets)
+	}
+	if got := res.Sets[0].Signature(); got != "10.1.0.1,10.1.0.2,10.1.0.3" {
+		t.Errorf("set = %q", got)
+	}
+}
+
+func TestResolveEmpty(t *testing.T) {
+	clk := netsim.NewSimClock(time.Unix(0, 0))
+	f := netsim.New(clk)
+	res := Resolve(f.Vantage("iff"), nil)
+	if len(res.Sets) != 0 {
+		t.Errorf("sets = %v", res.Sets)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		OutcomeSilent: "silent", OutcomeSameAddr: "same-addr",
+		OutcomeAlias: "alias", Outcome(7): "unknown",
+	} {
+		if o.String() != want {
+			t.Errorf("Outcome(%d) = %q", o, o.String())
+		}
+	}
+}

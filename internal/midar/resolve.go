@@ -1,0 +1,116 @@
+package midar
+
+import (
+	"net/netip"
+	"sort"
+
+	"aliaslimit/internal/alias"
+)
+
+// Resolve runs the standalone RadarGun/MIDAR-style pipeline over a flat
+// address list (no candidate sets): estimation classifies every target,
+// elimination runs the bounds test pairwise inside velocity buckets (the
+// MIDAR optimisation that avoids O(n²) over the whole population), and
+// corroboration re-tests each resulting group with fresh samples.
+//
+// The velocity-bucket heuristic: two aliases sample one counter, so their
+// estimated velocities are nearly equal; only pairs whose velocities agree
+// within a factor of two (plus an absolute floor) need the expensive
+// interleaved test.
+func (s *Session) Resolve(addrs []netip.Addr) *ResolveResult {
+	res := &ResolveResult{Classes: make(map[Class]int)}
+
+	series := s.SampleSet(addrs)
+	type usable struct {
+		addr netip.Addr
+		vel  float64
+	}
+	var us []usable
+	for _, a := range addrs {
+		sr := series[a]
+		c := Classify(sr, s.cfg.MaxVelocity)
+		res.Classes[c]++
+		if c != ClassUsable {
+			continue
+		}
+		v, _ := sr.Velocity()
+		us = append(us, usable{addr: a, vel: v})
+	}
+	// Sort by velocity so compatible pairs are adjacent: the sliding
+	// window below only compares velocity-compatible candidates.
+	sort.Slice(us, func(i, j int) bool { return us[i].vel < us[j].vel })
+
+	parent := make([]int, len(us))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	const velocityFloor = 16.0
+	for i := 0; i < len(us); i++ {
+		for j := i + 1; j < len(us); j++ {
+			// Window cut-off: velocities are sorted, so once incompatible,
+			// every later j is too.
+			if us[j].vel > 2*us[i].vel+velocityFloor {
+				break
+			}
+			res.PairsTested++
+			vmax := us[j].vel
+			if us[i].vel > vmax {
+				vmax = us[i].vel
+			}
+			if MBT(series[us[i].addr], series[us[j].addr], vmax, s.cfg.Margin) {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+
+	groups := make(map[int][]netip.Addr)
+	for i, u := range us {
+		r := find(i)
+		groups[r] = append(groups[r], u.addr)
+	}
+	// Corroboration on multi-address groups.
+	for _, g := range groups {
+		if len(g) < 2 {
+			continue
+		}
+		fresh := s.SampleSet(g)
+		ref := g[0]
+		refV, _ := fresh[ref].Velocity()
+		kept := []netip.Addr{ref}
+		for _, a := range g[1:] {
+			v, _ := fresh[a].Velocity()
+			vmax := refV
+			if v > vmax {
+				vmax = v
+			}
+			if MBT(fresh[ref], fresh[a], vmax, s.cfg.Margin) {
+				kept = append(kept, a)
+			}
+		}
+		if len(kept) >= 2 {
+			res.Sets = append(res.Sets, alias.NewSet(kept...))
+		}
+	}
+	sort.Slice(res.Sets, func(i, j int) bool {
+		return res.Sets[i].Addrs[0].Less(res.Sets[j].Addrs[0])
+	})
+	return res
+}
+
+// ResolveResult is the outcome of a standalone IPID resolution run.
+type ResolveResult struct {
+	// Classes counts the estimation-stage verdicts.
+	Classes map[Class]int
+	// PairsTested counts bounds tests executed after velocity bucketing.
+	PairsTested int
+	// Sets are the corroborated non-singleton alias sets.
+	Sets []alias.Set
+}

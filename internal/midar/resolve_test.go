@@ -1,0 +1,93 @@
+package midar
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"aliaslimit/internal/netsim"
+)
+
+func TestResolveStandalone(t *testing.T) {
+	f, clk := world(t)
+	s := NewSession(f.Vantage("midar"), clk, Config{})
+	targets := mustAddrs(
+		// Two genuine shared-counter routers...
+		"10.1.0.1", "10.1.0.2", "10.1.0.3",
+		"10.2.0.1", "10.2.0.2",
+		// ...and unusable populations.
+		"10.3.0.1", "10.3.0.2", // per-interface
+		"10.4.0.1",  // random
+		"10.5.0.1",  // zero
+		"10.6.0.1",  // too fast
+		"10.99.0.1", // unresponsive
+	)
+	res := s.Resolve(targets)
+	if got := len(res.Sets); got != 2 {
+		t.Fatalf("sets = %d (%v), want the two shared-counter routers", got, res.Sets)
+	}
+	sigs := map[string]bool{}
+	for _, set := range res.Sets {
+		sigs[set.Signature()] = true
+	}
+	if !sigs["10.1.0.1,10.1.0.2,10.1.0.3"] || !sigs["10.2.0.1,10.2.0.2"] {
+		t.Errorf("wrong groups: %v", sigs)
+	}
+	if res.Classes[ClassUnresponsive] == 0 || res.Classes[ClassTooFast] == 0 ||
+		res.Classes[ClassConstant] == 0 {
+		t.Errorf("census incomplete: %v", res.Classes)
+	}
+	if res.PairsTested == 0 {
+		t.Error("no pairs tested")
+	}
+}
+
+func TestResolveVelocityBucketingPrunes(t *testing.T) {
+	// Many usable targets with wildly different velocities: the window must
+	// prune most cross-velocity pairs.
+	clk := netsim.NewSimClock(time.Unix(9000, 0))
+	f := netsim.New(clk)
+	var targets []netip.Addr
+	n := 0
+	for _, vel := range []float64{1, 5, 200, 1000, 5000} {
+		for d := 0; d < 2; d++ {
+			n++
+			a1 := netip.AddrFrom4([4]byte{10, 10, byte(n), 1})
+			a2 := netip.AddrFrom4([4]byte{10, 10, byte(n), 2})
+			dev, err := netsim.NewDevice(netsim.DeviceConfig{
+				ID:    a1.String(),
+				Addrs: []netip.Addr{a1, a2}, IPID: netsim.IPIDSharedMonotonic,
+				// Phases must be well separated: counters that start at
+				// nearly the same value are indistinguishable to any IPID
+				// technique (a real MIDAR false positive).
+				IPIDVelocity: vel, IPIDSeed: uint64(n) * 13931, Pingable: true,
+			}, clk.Now())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.AddDevice(dev); err != nil {
+				t.Fatal(err)
+			}
+			targets = append(targets, a1, a2)
+		}
+	}
+	s := NewSession(f.Vantage("m"), clk, Config{})
+	res := s.Resolve(targets)
+	allPairs := len(targets) * (len(targets) - 1) / 2
+	if res.PairsTested >= allPairs {
+		t.Errorf("bucketing tested all %d pairs", res.PairsTested)
+	}
+	// Every device's two addresses must still be grouped.
+	if len(res.Sets) != 10 {
+		t.Errorf("sets = %d, want 10", len(res.Sets))
+	}
+}
+
+func TestResolveEmpty(t *testing.T) {
+	f, clk := world(t)
+	s := NewSession(f.Vantage("midar"), clk, Config{})
+	res := s.Resolve(nil)
+	if len(res.Sets) != 0 || res.PairsTested != 0 {
+		t.Errorf("empty resolve = %+v", res)
+	}
+}

@@ -1,0 +1,177 @@
+package midar
+
+import (
+	"net/netip"
+
+	"aliaslimit/internal/alias"
+)
+
+// SetOutcome classifies the MIDAR verdict for one candidate alias set, the
+// unit of the paper's SSH-MIDAR validation row.
+type SetOutcome int
+
+const (
+	// OutcomeUnverifiable: fewer than two usable counters in the set, so
+	// the bounds test cannot say anything — the fate of 87% of the paper's
+	// sample.
+	OutcomeUnverifiable SetOutcome = iota
+	// OutcomeConfirmed: the usable addresses form one MBT-consistent group
+	// exactly matching the candidate set's usable membership.
+	OutcomeConfirmed
+	// OutcomeSplit: MIDAR partitions the candidate set into two or more
+	// groups (the paper's disagreement cases).
+	OutcomeSplit
+)
+
+// String names the outcome.
+func (o SetOutcome) String() string {
+	switch o {
+	case OutcomeUnverifiable:
+		return "unverifiable"
+	case OutcomeConfirmed:
+		return "confirmed"
+	case OutcomeSplit:
+		return "split"
+	default:
+		return "unknown"
+	}
+}
+
+// SetResult is the verdict for one candidate set.
+type SetResult struct {
+	// Candidate is the set under test.
+	Candidate alias.Set
+	// Outcome is the verdict.
+	Outcome SetOutcome
+	// UsableAddrs lists the addresses that passed estimation.
+	UsableAddrs []netip.Addr
+	// Partition is MIDAR's own grouping of the usable addresses (set for
+	// confirmed and split outcomes).
+	Partition []alias.Set
+}
+
+// VerifySet runs the full pipeline on one candidate set: estimation
+// (classify each address), elimination (pairwise MBT over usable addresses),
+// and corroboration (re-test each resulting group with fresh samples).
+func (s *Session) VerifySet(candidate alias.Set) SetResult {
+	res := SetResult{Candidate: candidate}
+
+	series := s.SampleSet(candidate.Addrs)
+	velocities := make(map[netip.Addr]float64)
+	for _, a := range candidate.Addrs {
+		sr := series[a]
+		if Classify(sr, s.cfg.MaxVelocity) != ClassUsable {
+			continue
+		}
+		v, _ := sr.Velocity()
+		res.UsableAddrs = append(res.UsableAddrs, a)
+		velocities[a] = v
+	}
+	if len(res.UsableAddrs) < 2 {
+		res.Outcome = OutcomeUnverifiable
+		return res
+	}
+
+	// Elimination: pairwise MBT over the interleaved estimation samples.
+	n := len(res.UsableAddrs)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ai, aj := res.UsableAddrs[i], res.UsableAddrs[j]
+			vmax := velocities[ai]
+			if velocities[aj] > vmax {
+				vmax = velocities[aj]
+			}
+			if MBT(series[ai], series[aj], vmax, s.cfg.Margin) {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	groups := make(map[int][]netip.Addr)
+	for i, a := range res.UsableAddrs {
+		r := find(i)
+		groups[r] = append(groups[r], a)
+	}
+
+	// Corroboration: re-sample each multi-address group and demand the MBT
+	// still holds between every member and the group's first address.
+	// Members that fail drop out into singleton groups.
+	var finalGroups [][]netip.Addr
+	for _, addrs := range groups {
+		if len(addrs) < 2 {
+			finalGroups = append(finalGroups, addrs)
+			continue
+		}
+		fresh := s.SampleSet(addrs)
+		ref := addrs[0]
+		refV, _ := fresh[ref].Velocity()
+		kept := []netip.Addr{ref}
+		for _, a := range addrs[1:] {
+			v, _ := fresh[a].Velocity()
+			vmax := refV
+			if v > vmax {
+				vmax = v
+			}
+			if MBT(fresh[ref], fresh[a], vmax, s.cfg.Margin) {
+				kept = append(kept, a)
+			} else {
+				finalGroups = append(finalGroups, []netip.Addr{a})
+			}
+		}
+		finalGroups = append(finalGroups, kept)
+	}
+
+	for _, addrs := range finalGroups {
+		res.Partition = append(res.Partition, alias.NewSet(addrs...))
+	}
+	if len(res.Partition) == 1 && res.Partition[0].Size() == len(res.UsableAddrs) {
+		res.Outcome = OutcomeConfirmed
+	} else {
+		res.Outcome = OutcomeSplit
+	}
+	return res
+}
+
+// VerifySets runs VerifySet over a sample of candidate sets and tallies the
+// paper's Table 2 quantities.
+func (s *Session) VerifySets(candidates []alias.Set) ([]SetResult, Tally) {
+	results := make([]SetResult, 0, len(candidates))
+	var t Tally
+	for _, c := range candidates {
+		r := s.VerifySet(c)
+		results = append(results, r)
+		switch r.Outcome {
+		case OutcomeUnverifiable:
+			t.Unverifiable++
+		case OutcomeConfirmed:
+			t.Confirmed++
+		case OutcomeSplit:
+			t.Split++
+		}
+	}
+	return results, t
+}
+
+// Tally aggregates verification outcomes.
+type Tally struct {
+	// Unverifiable sets had fewer than two usable counters.
+	Unverifiable int
+	// Confirmed sets matched MIDAR's partition exactly.
+	Confirmed int
+	// Split sets were broken apart by MIDAR.
+	Split int
+}
+
+// Verifiable returns the number of sets MIDAR could test at all.
+func (t Tally) Verifiable() int { return t.Confirmed + t.Split }

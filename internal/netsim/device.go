@@ -1,0 +1,348 @@
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// DeviceKind is a coarse device category. It only influences reporting and
+// topology statistics, never fabric behaviour.
+type DeviceKind int
+
+const (
+	// KindRouter is a multi-interface network device (the alias-resolution
+	// target population).
+	KindRouter DeviceKind = iota
+	// KindServer is an end host, typically a cloud VM with one IPv4 and
+	// possibly one IPv6 address running SSH.
+	KindServer
+)
+
+// String returns the kind name.
+func (k DeviceKind) String() string {
+	switch k {
+	case KindRouter:
+		return "router"
+	case KindServer:
+		return "server"
+	default:
+		return "unknown"
+	}
+}
+
+// ServeContext carries per-connection metadata into a service handler. The
+// paper's identifiers may legitimately vary by interface (0.4% of
+// non-singleton SSH hosts announce different capabilities on different
+// addresses), so handlers always learn which local address was hit.
+type ServeContext struct {
+	// Device is the device that accepted the connection.
+	Device *Device
+	// LocalAddr is the interface address the client connected to.
+	LocalAddr netip.Addr
+	// LocalPort is the service port.
+	LocalPort uint16
+	// Clock is the fabric clock, for handlers that model timeouts.
+	Clock Clock
+}
+
+// Handler serves a single accepted connection. Implementations must close
+// conn before returning, or rely on the fabric's deferred close.
+type Handler interface {
+	Serve(conn net.Conn, sc ServeContext)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(conn net.Conn, sc ServeContext)
+
+// Serve implements Handler.
+func (f HandlerFunc) Serve(conn net.Conn, sc ServeContext) { f(conn, sc) }
+
+// serviceEntry is one TCP service bound on a device, optionally restricted to
+// a subset of the device's addresses (the paper's "service configured to
+// respond only on selected addresses" ACL case).
+type serviceEntry struct {
+	handler Handler
+	// allowed is nil when the service answers on every interface; otherwise
+	// it is the set of addresses that accept connections. Probes to other
+	// addresses are dropped (firewalled), not refused: that is what an ACL
+	// on a router does.
+	allowed map[netip.Addr]bool
+}
+
+// DeviceConfig describes a device to construct.
+type DeviceConfig struct {
+	// ID is a unique, stable identifier (used to key deterministic draws).
+	ID string
+	// ASN is the autonomous system the device belongs to. Interfaces may
+	// individually override this for inter-AS links; see AddrASN.
+	ASN uint32
+	// Kind is the device category.
+	Kind DeviceKind
+	// Addrs lists every interface address, IPv4 and IPv6, in interface
+	// order. Index in this slice is the interface index.
+	Addrs []netip.Addr
+	// AddrASN optionally maps specific addresses to a different origin AS
+	// than the device's own. Border-router link addresses are commonly
+	// numbered from the neighbour's space, which is why the paper finds
+	// >35% of BGP-derived alias sets spanning multiple ASes.
+	AddrASN map[netip.Addr]uint32
+	// IPID selects the IP identification counter behaviour.
+	IPID IPIDModel
+	// IPIDVelocity is background traffic in packets/second feeding the
+	// shared counter (only meaningful for the shared models).
+	IPIDVelocity float64
+	// IPIDSeed seeds the counter and the random model.
+	IPIDSeed uint64
+	// Pingable reports whether IPID probes (ICMP echo) are answered.
+	Pingable bool
+	// RespondsFromProbed, when true, makes ICMP errors originate from the
+	// probed address, which defeats the common-source-address technique.
+	RespondsFromProbed bool
+	// ICMPSilent suppresses all ICMP error generation.
+	ICMPSilent bool
+	// EmitsFragmentIDs reports whether the device answers Speedtrap-style
+	// probes with fragmented IPv6 packets carrying identification values.
+	EmitsFragmentIDs bool
+	// FilteredVantages lists vantage labels whose probes this device's
+	// upstream IDS/rate-limiter drops. The paper attributes Censys's higher
+	// SSH coverage to distributed scanning that avoids exactly this.
+	FilteredVantages []string
+}
+
+// Device is one simulated network element with one or more addressed
+// interfaces and zero or more TCP services.
+type Device struct {
+	id       string
+	asn      uint32
+	kind     DeviceKind
+	addrs    []netip.Addr
+	ifIndex  map[netip.Addr]int
+	addrASN  map[netip.Addr]uint32
+	pingable bool
+
+	respondsFromProbed bool
+	icmpSilent         bool
+	fragEmitter        bool
+
+	ipidModel IPIDModel
+	ipid      *ipidState
+
+	filteredVantages map[string]bool
+
+	mu       sync.RWMutex
+	services map[uint16]*serviceEntry
+
+	udp udpServices
+}
+
+// NewDevice constructs a device. origin positions the IPID clock; pass the
+// fabric clock's current time.
+func NewDevice(cfg DeviceConfig, origin time.Time) (*Device, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("netsim: device must have an ID")
+	}
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("netsim: device %s has no addresses", cfg.ID)
+	}
+	d := &Device{
+		id:                 cfg.ID,
+		asn:                cfg.ASN,
+		kind:               cfg.Kind,
+		addrs:              append([]netip.Addr(nil), cfg.Addrs...),
+		ifIndex:            make(map[netip.Addr]int, len(cfg.Addrs)),
+		addrASN:            make(map[netip.Addr]uint32, len(cfg.AddrASN)),
+		pingable:           cfg.Pingable,
+		respondsFromProbed: cfg.RespondsFromProbed,
+		icmpSilent:         cfg.ICMPSilent,
+		fragEmitter:        cfg.EmitsFragmentIDs,
+		ipidModel:          cfg.IPID,
+		ipid:               newIPIDState(cfg.IPIDSeed, cfg.IPIDVelocity, origin),
+		services:           make(map[uint16]*serviceEntry),
+	}
+	for i, a := range d.addrs {
+		if !a.IsValid() {
+			return nil, fmt.Errorf("netsim: device %s address %d invalid", cfg.ID, i)
+		}
+		if _, dup := d.ifIndex[a]; dup {
+			return nil, fmt.Errorf("netsim: device %s duplicate address %s", cfg.ID, a)
+		}
+		d.ifIndex[a] = i
+	}
+	for a, asn := range cfg.AddrASN {
+		d.addrASN[a] = asn
+	}
+	if len(cfg.FilteredVantages) > 0 {
+		d.filteredVantages = make(map[string]bool, len(cfg.FilteredVantages))
+		for _, v := range cfg.FilteredVantages {
+			d.filteredVantages[v] = true
+		}
+	}
+	return d, nil
+}
+
+// ID returns the device's unique identifier.
+func (d *Device) ID() string { return d.id }
+
+// ASN returns the device's own autonomous system number.
+func (d *Device) ASN() uint32 { return d.asn }
+
+// Kind returns the device category.
+func (d *Device) Kind() DeviceKind { return d.kind }
+
+// Addrs returns the device's interface addresses in interface order. The
+// returned slice must not be modified.
+func (d *Device) Addrs() []netip.Addr { return d.addrs }
+
+// AddrASN returns the origin AS of a specific interface address, falling back
+// to the device ASN for addresses without an override.
+func (d *Device) AddrASN(a netip.Addr) uint32 {
+	if asn, ok := d.addrASN[a]; ok {
+		return asn
+	}
+	return d.asn
+}
+
+// HasAddr reports whether a is one of the device's interfaces.
+func (d *Device) HasAddr(a netip.Addr) bool {
+	_, ok := d.ifIndex[a]
+	return ok
+}
+
+// CanonicalAddr is the address the device uses as source for self-originated
+// ICMP errors (its "loopback" or lowest-numbered interface).
+func (d *Device) CanonicalAddr() netip.Addr { return d.addrs[0] }
+
+// IPIDModel returns the configured IPID behaviour.
+func (d *Device) IPIDModel() IPIDModel { return d.ipidModel }
+
+// IPIDVelocity returns the configured background IPID velocity.
+func (d *Device) IPIDVelocity() float64 { return d.ipid.Velocity() }
+
+// SetService binds handler on port. If addrs is non-empty, only those
+// addresses accept connections for the service; probes to the service on any
+// other interface are silently dropped (ACL semantics). Re-binding a port
+// replaces the previous service.
+func (d *Device) SetService(port uint16, h Handler, addrs ...netip.Addr) {
+	e := &serviceEntry{handler: h}
+	if len(addrs) > 0 {
+		e.allowed = make(map[netip.Addr]bool, len(addrs))
+		for _, a := range addrs {
+			e.allowed[a] = true
+		}
+	}
+	d.mu.Lock()
+	d.services[port] = e
+	d.mu.Unlock()
+}
+
+// RemoveService unbinds the service on port, if any.
+func (d *Device) RemoveService(port uint16) {
+	d.mu.Lock()
+	delete(d.services, port)
+	d.mu.Unlock()
+}
+
+// ServicePorts returns the bound TCP ports in unspecified order.
+func (d *Device) ServicePorts() []uint16 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	ports := make([]uint16, 0, len(d.services))
+	for p := range d.services {
+		ports = append(ports, p)
+	}
+	return ports
+}
+
+// ServiceAddrs returns the addresses on which the service bound to port
+// answers (the ACL view), or all device addresses when unrestricted, or nil
+// when the port has no service.
+func (d *Device) ServiceAddrs(port uint16) []netip.Addr {
+	d.mu.RLock()
+	e := d.services[port]
+	d.mu.RUnlock()
+	if e == nil {
+		return nil
+	}
+	if e.allowed == nil {
+		return d.addrs
+	}
+	out := make([]netip.Addr, 0, len(e.allowed))
+	for _, a := range d.addrs { // preserve interface order
+		if e.allowed[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// probeStatus classifies how the device treats a TCP SYN to (addr, port) from
+// the given vantage.
+func (d *Device) probeStatus(vantage string, addr netip.Addr, port uint16) ProbeStatus {
+	if d.filteredVantages[vantage] {
+		return StatusFiltered
+	}
+	d.mu.RLock()
+	e := d.services[port]
+	d.mu.RUnlock()
+	if e == nil {
+		return StatusClosed
+	}
+	if e.allowed != nil && !e.allowed[addr] {
+		return StatusFiltered
+	}
+	return StatusOpen
+}
+
+// handlerFor returns the handler serving (addr, port), or nil when the probe
+// would not complete a handshake.
+func (d *Device) handlerFor(vantage string, addr netip.Addr, port uint16) Handler {
+	if d.probeStatus(vantage, addr, port) != StatusOpen {
+		return nil
+	}
+	d.mu.RLock()
+	e := d.services[port]
+	d.mu.RUnlock()
+	if e == nil {
+		return nil
+	}
+	return e.handler
+}
+
+// sampleIPID answers an IPID probe against addr at the given time, or false
+// if the device does not respond to such probes.
+func (d *Device) sampleIPID(vantage string, addr netip.Addr, now time.Time) (uint16, bool) {
+	if !d.pingable || d.filteredVantages[vantage] {
+		return 0, false
+	}
+	idx, ok := d.ifIndex[addr]
+	if !ok {
+		return 0, false
+	}
+	return d.ipid.sample(d.ipidModel, idx, now), true
+}
+
+// icmpSource answers an iffinder-style UDP probe to a closed port: the
+// address the resulting ICMP port-unreachable claims as source, or ok=false
+// when the device stays silent.
+func (d *Device) icmpSource(vantage string, probed netip.Addr) (netip.Addr, bool) {
+	if d.icmpSilent || d.filteredVantages[vantage] {
+		return netip.Addr{}, false
+	}
+	if _, ok := d.ifIndex[probed]; !ok {
+		return netip.Addr{}, false
+	}
+	if d.respondsFromProbed {
+		return probed, true
+	}
+	// ICMP errors are sourced from the canonical interface of the matching
+	// address family.
+	for _, a := range d.addrs {
+		if a.Is4() == probed.Is4() {
+			return a, true
+		}
+	}
+	return d.addrs[0], true
+}

@@ -1,0 +1,70 @@
+package netsim
+
+import (
+	"net/netip"
+	"time"
+)
+
+// IPv6 has no Identification field in its base header; Speedtrap (Luckie et
+// al., IMC '13) elicits *fragmented* responses — by advertising a tiny MTU —
+// and samples the 32-bit Identification of the Fragment extension header,
+// which many routers draw from one shared counter. This file adds that probe
+// primitive to the fabric.
+
+// sample32 is the 32-bit analogue of ipidState.sample used for IPv6 fragment
+// identifiers. It shares the same counter state: devices that use one
+// counter for IPv4 IPID typically use it for fragment IDs too.
+func (s *ipidState) sample32(m IPIDModel, ifIndex int, now time.Time) uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch m {
+	case IPIDZero:
+		return 0
+	case IPIDRandom:
+		return uint32(s.rng.Uint64())
+	case IPIDPerInterface:
+		s.perIf[ifIndex]++
+		return uint32(s.perIf[ifIndex] + uint64(ifIndex)*104729)
+	case IPIDSharedMonotonic, IPIDHighVelocity:
+		if now.After(s.lastTick) {
+			dt := now.Sub(s.lastTick).Seconds()
+			inc := s.velocity*dt + s.carry
+			whole := uint64(inc)
+			s.carry = inc - float64(whole)
+			s.counter += whole
+			s.lastTick = now
+		}
+		s.counter++
+		return uint32(s.counter)
+	default:
+		return 0
+	}
+}
+
+// sampleFragID answers a Speedtrap probe against an IPv6 interface, or false
+// when the device does not emit fragment identifiers (most hosts answer
+// atomically or not at all — the reason IPv6 alias resolution is hard).
+func (d *Device) sampleFragID(vantage string, addr netip.Addr, now time.Time) (uint32, bool) {
+	if !d.fragEmitter || d.filteredVantages[vantage] {
+		return 0, false
+	}
+	if !addr.Is6() || addr.Is4In6() {
+		return 0, false
+	}
+	idx, ok := d.ifIndex[addr]
+	if !ok {
+		return 0, false
+	}
+	return d.ipid.sample32(d.ipidModel, idx, now), true
+}
+
+// FragIDProbe elicits one IPv6 fragment-identification sample from addr —
+// the Speedtrap primitive. ok is false when the target does not answer with
+// fragmented packets.
+func (v *Vantage) FragIDProbe(addr netip.Addr) (fragID uint32, ok bool) {
+	d := v.fabric.Lookup(addr)
+	if d == nil {
+		return 0, false
+	}
+	return d.sampleFragID(v.label, addr, v.fabric.clock.Now())
+}

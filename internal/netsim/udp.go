@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"net/netip"
+	"sync"
+)
+
+// UDPHandler answers one UDP request datagram with zero or one response
+// datagrams. Returning nil means the service stays silent (the request is
+// dropped, as SNMP agents do for malformed packets).
+type UDPHandler func(req []byte, sc ServeContext) []byte
+
+// udpServiceEntry mirrors serviceEntry for datagram services.
+type udpServiceEntry struct {
+	handler UDPHandler
+	allowed map[netip.Addr]bool
+}
+
+// udpServices lazily extends Device with datagram services without touching
+// the hot TCP paths.
+type udpServices struct {
+	mu       sync.RWMutex
+	services map[uint16]*udpServiceEntry
+}
+
+// SetUDPService binds handler on the UDP port. If addrs is non-empty, only
+// those addresses answer (ACL semantics, matching SetService).
+func (d *Device) SetUDPService(port uint16, h UDPHandler, addrs ...netip.Addr) {
+	e := &udpServiceEntry{handler: h}
+	if len(addrs) > 0 {
+		e.allowed = make(map[netip.Addr]bool, len(addrs))
+		for _, a := range addrs {
+			e.allowed[a] = true
+		}
+	}
+	d.udp.mu.Lock()
+	if d.udp.services == nil {
+		d.udp.services = make(map[uint16]*udpServiceEntry)
+	}
+	d.udp.services[port] = e
+	d.udp.mu.Unlock()
+}
+
+// UDPServiceAddrs returns the addresses on which the UDP service answers, all
+// device addresses when unrestricted, or nil when the port has no service.
+func (d *Device) UDPServiceAddrs(port uint16) []netip.Addr {
+	d.udp.mu.RLock()
+	e := d.udp.services[port]
+	d.udp.mu.RUnlock()
+	if e == nil {
+		return nil
+	}
+	if e.allowed == nil {
+		return d.addrs
+	}
+	out := make([]netip.Addr, 0, len(e.allowed))
+	for _, a := range d.addrs {
+		if e.allowed[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// udpHandlerFor returns the handler for (addr, port) or nil when the probe
+// would be dropped.
+func (d *Device) udpHandlerFor(vantage string, addr netip.Addr, port uint16) UDPHandler {
+	if d.filteredVantages[vantage] {
+		return nil
+	}
+	d.udp.mu.RLock()
+	e := d.udp.services[port]
+	d.udp.mu.RUnlock()
+	if e == nil {
+		return nil
+	}
+	if e.allowed != nil && !e.allowed[addr] {
+		return nil
+	}
+	return e.handler
+}
+
+// UDPExchange sends one request datagram to addr:port and returns the
+// response, if any. ok is false when the target is unrouted, filtered, has no
+// service on the port, or the service chose not to answer.
+func (v *Vantage) UDPExchange(addr netip.Addr, port uint16, req []byte) (resp []byte, ok bool) {
+	d := v.fabric.Lookup(addr)
+	if d == nil {
+		return nil, false
+	}
+	h := d.udpHandlerFor(v.label, addr, port)
+	if h == nil {
+		return nil, false
+	}
+	resp = h(req, ServeContext{Device: d, LocalAddr: addr, LocalPort: port, Clock: v.fabric.clock})
+	if resp == nil {
+		return nil, false
+	}
+	return resp, true
+}

@@ -1,0 +1,98 @@
+package obsfile
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"aliaslimit/internal/alias"
+	"aliaslimit/internal/ident"
+)
+
+func sample() []alias.Observation {
+	return []alias.Observation{
+		{Addr: netip.MustParseAddr("1.0.0.7"), ID: ident.Identifier{Proto: ident.SSH, Digest: "aa"}},
+		{Addr: netip.MustParseAddr("2a00::1"), ID: ident.Identifier{Proto: ident.BGP, Digest: "bb"}},
+		{Addr: netip.MustParseAddr("10.0.0.1"), ID: ident.Identifier{Proto: ident.SNMP, Digest: "cc"}},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if len(got) != len(want) {
+		t.Fatalf("read %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(a4 [4]byte, digestRaw []byte, protoRaw uint8) bool {
+		if len(digestRaw) == 0 {
+			digestRaw = []byte{1}
+		}
+		digest := strings.Map(func(r rune) rune {
+			return rune("0123456789abcdef"[byte(r)%16])
+		}, string(digestRaw))
+		obs := []alias.Observation{{
+			Addr: netip.AddrFrom4(a4),
+			ID: ident.Identifier{
+				Proto:  ident.Protocols[int(protoRaw)%len(ident.Protocols)],
+				Digest: digest,
+			},
+		}}
+		var buf bytes.Buffer
+		if err := Write(&buf, obs); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		return err == nil && len(got) == 1 && got[0] == obs[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{"addr":`,
+		"bad addr":      `{"addr":"not-an-ip","proto":"SSH","digest":"aa"}`,
+		"bad proto":     `{"addr":"1.0.0.1","proto":"GOPHER","digest":"aa"}`,
+		"empty digest":  `{"addr":"1.0.0.1","proto":"SSH","digest":""}`,
+		"missing proto": `{"addr":"1.0.0.1","digest":"aa"}`,
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	got, err := Read(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty input: %v %v", got, err)
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	in := `{"addr":"1.0.0.1","proto":"SSH","digest":"aa"}
+{"addr":"broken","proto":"SSH","digest":"bb"}`
+	_, err := Read(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want line 2 reference", err)
+	}
+}

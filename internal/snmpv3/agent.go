@@ -1,0 +1,112 @@
+package snmpv3
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"time"
+
+	"aliaslimit/internal/netsim"
+)
+
+// Port is the standard SNMP UDP port.
+const Port = 161
+
+// EngineIDFormat values from RFC 3411 §5 (SnmpEngineID textual convention).
+const (
+	engineIDFormatMAC    = 3
+	engineIDFormatText   = 4
+	engineIDFormatOctets = 5
+)
+
+// NewEngineID builds an RFC 3411 SnmpEngineID: 4-byte private enterprise
+// number with the high bit set, a format octet, and identifying data — here
+// a 6-byte pseudo-MAC derived from the seed. Engine IDs are what the IMC '21
+// technique groups addresses by, so each simulated device derives exactly one
+// from its device identity.
+func NewEngineID(enterprise uint32, seed uint64) []byte {
+	id := make([]byte, 0, 11)
+	id = binary.BigEndian.AppendUint32(id, enterprise|0x80000000)
+	id = append(id, engineIDFormatMAC)
+	var mac [6]byte
+	binary.BigEndian.PutUint16(mac[0:2], uint16(seed>>32))
+	binary.BigEndian.PutUint32(mac[2:6], uint32(seed))
+	return append(id, mac[:]...)
+}
+
+// AgentConfig describes one simulated SNMPv3 agent.
+type AgentConfig struct {
+	// EngineID is the engine's unique identifier, shared by every interface
+	// of the device.
+	EngineID []byte
+	// EngineBoots counts re-initialisations.
+	EngineBoots int64
+	// BootTime anchors engine time; EngineTime in replies is seconds since
+	// this instant according to the fabric clock.
+	BootTime time.Time
+}
+
+// Agent is a netsim UDP handler answering discovery probes with the
+// usmStatsUnknownEngineIDs Report that carries its engine ID.
+type Agent struct {
+	cfg          AgentConfig
+	unknownCount atomic.Uint32
+}
+
+// NewAgent returns an agent for cfg.
+func NewAgent(cfg AgentConfig) *Agent {
+	return &Agent{cfg: cfg}
+}
+
+// Handle implements netsim.UDPHandler.
+func (a *Agent) Handle(req []byte, sc netsim.ServeContext) []byte {
+	m, err := Parse(req)
+	if err != nil {
+		return nil // agents drop garbage silently
+	}
+	// Only the USM discovery path is modelled: version 3, reportable,
+	// unknown (here: empty or mismatching) engine ID.
+	if m.SecurityModel != SecurityModelUSM || m.Flags&FlagReportable == 0 {
+		return nil
+	}
+	if len(m.EngineID) != 0 && string(m.EngineID) == string(a.cfg.EngineID) {
+		// A correctly addressed request would need user lookup and fails
+		// differently; scanners never get here.
+		return nil
+	}
+	count := a.unknownCount.Add(1)
+
+	engineTime := int64(0)
+	if sc.Clock != nil && !a.cfg.BootTime.IsZero() {
+		if d := sc.Clock.Now().Sub(a.cfg.BootTime); d > 0 {
+			engineTime = int64(d / time.Second)
+		}
+	}
+	var counterBody []byte
+	for x := uint32(count); x > 0; x >>= 8 {
+		counterBody = append([]byte{byte(x)}, counterBody...)
+	}
+	if len(counterBody) == 0 {
+		counterBody = []byte{0}
+	}
+	if counterBody[0]&0x80 != 0 {
+		counterBody = append([]byte{0}, counterBody...)
+	}
+	reply := &Message{
+		MsgID:           m.MsgID,
+		MaxSize:         DefaultMaxSize,
+		Flags:           0, // reports are not reportable
+		SecurityModel:   SecurityModelUSM,
+		EngineID:        a.cfg.EngineID,
+		EngineBoots:     a.cfg.EngineBoots,
+		EngineTime:      engineTime,
+		ContextEngineID: a.cfg.EngineID,
+		PDUType:         tagReport,
+		RequestID:       m.RequestID,
+		VarBinds: []VarBind{{
+			OID:      OIDUsmStatsUnknownEngineIDs,
+			ValueTag: tagCounter32,
+			Value:    counterBody,
+		}},
+	}
+	return reply.Marshal()
+}

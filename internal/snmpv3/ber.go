@@ -1,0 +1,199 @@
+// Package snmpv3 implements the sliver of SNMPv3 (RFC 3412/3414) that the
+// engine-ID fingerprinting technique of Albakour et al. (IMC '21) uses — the
+// paper's baseline and supplementary data source. A manager sends one
+// unauthenticated Get request with an empty authoritative engine ID; the
+// agent cannot process it and answers with a usmStatsUnknownEngineIDs Report
+// whose security parameters carry msgAuthoritativeEngineID, a value that RFC
+// 3411 requires to be unique per SNMP engine (per device) — a ready-made
+// alias-resolution identifier.
+//
+// SNMP encodes with BER. encoding/asn1 in the standard library is a DER
+// codec with struct-tag reflection that fits poorly here (context tags,
+// implicit application types, Counter32), so the package carries its own
+// small, strict TLV codec: definite-length only, minimal-length integers —
+// the subset every real agent emits.
+package snmpv3
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BER/ASN.1 tag bytes used by SNMP messages.
+const (
+	tagInteger     = 0x02
+	tagOctetString = 0x04
+	tagNull        = 0x05
+	tagOID         = 0x06
+	tagSequence    = 0x30
+	// tagCounter32 is SNMP's [APPLICATION 1] IMPLICIT INTEGER.
+	tagCounter32 = 0x41
+	// Context-specific constructed tags select the PDU type.
+	tagGetRequest = 0xa0
+	tagResponse   = 0xa2
+	tagReport     = 0xa8
+)
+
+// Codec errors.
+var (
+	ErrTruncated = errors.New("snmpv3: truncated BER element")
+	ErrBadTag    = errors.New("snmpv3: unexpected BER tag")
+	ErrBadLength = errors.New("snmpv3: unsupported BER length form")
+	ErrBadValue  = errors.New("snmpv3: malformed value")
+)
+
+// appendTLV appends tag, definite length, and value.
+func appendTLV(dst []byte, tag byte, val []byte) []byte {
+	dst = append(dst, tag)
+	n := len(val)
+	switch {
+	case n < 0x80:
+		dst = append(dst, byte(n))
+	case n <= 0xff:
+		dst = append(dst, 0x81, byte(n))
+	case n <= 0xffff:
+		dst = append(dst, 0x82, byte(n>>8), byte(n))
+	default:
+		// SNMP messages never legitimately reach 64 KiB.
+		panic("snmpv3: element too large")
+	}
+	return append(dst, val...)
+}
+
+// appendInt appends a non-negative INTEGER with minimal encoding.
+func appendInt(dst []byte, tag byte, v int64) []byte {
+	if v < 0 {
+		panic("snmpv3: negative integers not used by SNMP headers")
+	}
+	var body []byte
+	switch {
+	case v == 0:
+		body = []byte{0}
+	default:
+		for x := v; x > 0; x >>= 8 {
+			body = append([]byte{byte(x)}, body...)
+		}
+		if body[0]&0x80 != 0 {
+			body = append([]byte{0}, body...) // keep it positive
+		}
+	}
+	return appendTLV(dst, tag, body)
+}
+
+// readTLV decodes one element from the front of b. val aliases b.
+func readTLV(b []byte) (tag byte, val []byte, rest []byte, err error) {
+	if len(b) < 2 {
+		return 0, nil, nil, ErrTruncated
+	}
+	tag = b[0]
+	lb := b[1]
+	var n, hdr int
+	switch {
+	case lb < 0x80:
+		n, hdr = int(lb), 2
+	case lb == 0x81:
+		if len(b) < 3 {
+			return 0, nil, nil, ErrTruncated
+		}
+		n, hdr = int(b[2]), 3
+	case lb == 0x82:
+		if len(b) < 4 {
+			return 0, nil, nil, ErrTruncated
+		}
+		n, hdr = int(b[2])<<8|int(b[3]), 4
+	default:
+		return 0, nil, nil, fmt.Errorf("%w: length byte %#x", ErrBadLength, lb)
+	}
+	if len(b) < hdr+n {
+		return 0, nil, nil, ErrTruncated
+	}
+	return tag, b[hdr : hdr+n], b[hdr+n:], nil
+}
+
+// expectTLV decodes one element and verifies its tag.
+func expectTLV(b []byte, wantTag byte) (val, rest []byte, err error) {
+	tag, val, rest, err := readTLV(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if tag != wantTag {
+		return nil, nil, fmt.Errorf("%w: got %#x, want %#x", ErrBadTag, tag, wantTag)
+	}
+	return val, rest, nil
+}
+
+// parseInt decodes a (non-negative) INTEGER body.
+func parseInt(body []byte) (int64, error) {
+	if len(body) == 0 || len(body) > 8 {
+		return 0, fmt.Errorf("%w: integer of %d bytes", ErrBadValue, len(body))
+	}
+	if body[0]&0x80 != 0 {
+		return 0, fmt.Errorf("%w: negative integer", ErrBadValue)
+	}
+	var v int64
+	for _, c := range body {
+		v = v<<8 | int64(c)
+	}
+	return v, nil
+}
+
+// appendOID appends an OBJECT IDENTIFIER from its dotted components.
+func appendOID(dst []byte, oid []uint32) []byte {
+	if len(oid) < 2 {
+		panic("snmpv3: OID needs at least two arcs")
+	}
+	body := []byte{byte(oid[0]*40 + oid[1])}
+	for _, arc := range oid[2:] {
+		body = append(body, encodeBase128(arc)...)
+	}
+	return appendTLV(dst, tagOID, body)
+}
+
+// encodeBase128 encodes one OID arc.
+func encodeBase128(v uint32) []byte {
+	if v == 0 {
+		return []byte{0}
+	}
+	var out []byte
+	for v > 0 {
+		out = append([]byte{byte(v&0x7f) | 0x80}, out...)
+		v >>= 7
+	}
+	out[len(out)-1] &^= 0x80
+	return out
+}
+
+// parseOID decodes an OBJECT IDENTIFIER body into its arcs.
+func parseOID(body []byte) ([]uint32, error) {
+	if len(body) == 0 {
+		return nil, fmt.Errorf("%w: empty OID", ErrBadValue)
+	}
+	oid := []uint32{uint32(body[0]) / 40, uint32(body[0]) % 40}
+	var cur uint32
+	inArc := false
+	for _, c := range body[1:] {
+		cur = cur<<7 | uint32(c&0x7f)
+		inArc = true
+		if c&0x80 == 0 {
+			oid = append(oid, cur)
+			cur, inArc = 0, false
+		}
+	}
+	if inArc {
+		return nil, fmt.Errorf("%w: OID arc unterminated", ErrBadValue)
+	}
+	return oid, nil
+}
+
+// oidEqual compares two OIDs.
+func oidEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,61 @@
+package snmpv3
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Exchanger is the transport a discovery client needs: one request datagram,
+// at most one response. netsim.Vantage implements it; a real deployment
+// would wrap a net.UDPConn.
+type Exchanger interface {
+	UDPExchange(addr netip.Addr, port uint16, req []byte) (resp []byte, ok bool)
+}
+
+// DiscoveryResult is what one engine-discovery probe yields.
+type DiscoveryResult struct {
+	// EngineID is the agent's msgAuthoritativeEngineID — the identifier the
+	// IMC '21 technique groups by.
+	EngineID []byte
+	// EngineBoots and EngineTime are the agent's USM clock at response time.
+	EngineBoots int64
+	// EngineTime is seconds since the agent last booted.
+	EngineTime int64
+	// Counter is the usmStatsUnknownEngineIDs value, useful as a liveness
+	// cross-check (it increments per discovery).
+	Counter uint32
+}
+
+// Discover sends one engine-discovery probe to addr and parses the Report.
+// ok is false when the target did not answer (filtered, no agent, or the
+// agent dropped the probe); err is non-nil when it answered with something
+// other than a well-formed discovery Report.
+func Discover(x Exchanger, addr netip.Addr, msgID, requestID int64) (res *DiscoveryResult, ok bool, err error) {
+	req := NewDiscoveryRequest(msgID, requestID).Marshal()
+	resp, ok := x.UDPExchange(addr, Port, req)
+	if !ok {
+		return nil, false, nil
+	}
+	m, err := Parse(resp)
+	if err != nil {
+		return nil, true, fmt.Errorf("snmpv3: discovery response: %w", err)
+	}
+	if !m.IsReport() {
+		return nil, true, fmt.Errorf("snmpv3: expected Report PDU, got %#x", m.PDUType)
+	}
+	if m.MsgID != msgID {
+		return nil, true, fmt.Errorf("snmpv3: msgID mismatch: sent %d, got %d", msgID, m.MsgID)
+	}
+	if len(m.EngineID) == 0 {
+		return nil, true, fmt.Errorf("snmpv3: report carries no engine ID")
+	}
+	res = &DiscoveryResult{
+		EngineID:    m.EngineID,
+		EngineBoots: m.EngineBoots,
+		EngineTime:  m.EngineTime,
+	}
+	if c, hasCounter := m.UnknownEngineIDsCounter(); hasCounter {
+		res.Counter = c
+	}
+	return res, true, nil
+}

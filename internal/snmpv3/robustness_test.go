@@ -1,0 +1,70 @@
+package snmpv3
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aliaslimit/internal/netsim"
+)
+
+// TestParseNeverPanics: BER decoders see attacker-controlled input.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse panicked on %x: %v", b, r)
+			}
+		}()
+		_, _ = Parse(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseMutatedDiscovery mutates every byte of a valid discovery message.
+func TestParseMutatedDiscovery(t *testing.T) {
+	base := NewDiscoveryRequest(77, 88).Marshal()
+	for pos := 0; pos < len(base); pos++ {
+		for _, delta := range []byte{1, 0x80, 0xff} {
+			mut := append([]byte(nil), base...)
+			mut[pos] ^= delta
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("Parse panicked with byte %d ^= %#x: %v", pos, delta, r)
+					}
+				}()
+				_, _ = Parse(mut)
+			}()
+		}
+	}
+}
+
+// TestAgentNeverPanics: the agent handles raw datagrams from the fabric.
+func TestAgentNeverPanics(t *testing.T) {
+	agent := NewAgent(AgentConfig{EngineID: NewEngineID(1, 1)})
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("agent panicked on %x: %v", b, r)
+			}
+		}()
+		_ = agent.Handle(b, netsim.ServeContext{})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTruncatedDiscovery truncates the discovery probe at every offset.
+func TestTruncatedDiscovery(t *testing.T) {
+	base := NewDiscoveryRequest(1, 2).Marshal()
+	for n := 0; n < len(base); n++ {
+		if _, err := Parse(base[:n]); err == nil {
+			t.Errorf("truncation at %d parsed successfully", n)
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package snmpv3
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"aliaslimit/internal/netsim"
+)
+
+func TestTLVRoundTripProperty(t *testing.T) {
+	f := func(tag byte, val []byte) bool {
+		if tag == 0 {
+			tag = tagOctetString
+		}
+		if len(val) > 60000 {
+			val = val[:60000]
+		}
+		enc := appendTLV(nil, tag, val)
+		gotTag, gotVal, rest, err := readTLV(enc)
+		return err == nil && gotTag == tag && bytes.Equal(gotVal, val) && len(rest) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLVLongLengths(t *testing.T) {
+	for _, n := range []int{0, 1, 127, 128, 255, 256, 1000, 40000} {
+		val := make([]byte, n)
+		enc := appendTLV(nil, tagOctetString, val)
+		_, got, _, err := readTLV(enc)
+		if err != nil || len(got) != n {
+			t.Errorf("length %d: err=%v got=%d", n, err, len(got))
+		}
+	}
+}
+
+func TestTLVErrors(t *testing.T) {
+	if _, _, _, err := readTLV([]byte{0x02}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("one byte: %v", err)
+	}
+	if _, _, _, err := readTLV([]byte{0x02, 0x05, 0x01}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short value: %v", err)
+	}
+	if _, _, _, err := readTLV([]byte{0x02, 0x84, 0, 0, 0, 1, 0}); !errors.Is(err, ErrBadLength) {
+		t.Errorf("4-byte length form: %v", err)
+	}
+	if _, _, _, err := readTLV([]byte{0x02, 0x80, 0x00}); !errors.Is(err, ErrBadLength) {
+		t.Errorf("indefinite length: %v", err)
+	}
+	if _, _, err := expectTLV([]byte{0x04, 0x00}, tagInteger); !errors.Is(err, ErrBadTag) {
+		t.Errorf("tag mismatch: %v", err)
+	}
+}
+
+func TestIntCodec(t *testing.T) {
+	for _, v := range []int64{0, 1, 127, 128, 255, 256, 65535, 1 << 31, 1<<40 + 12345} {
+		enc := appendInt(nil, tagInteger, v)
+		body, _, err := expectTLV(enc, tagInteger)
+		if err != nil {
+			t.Fatalf("int %d: %v", v, err)
+		}
+		got, err := parseInt(body)
+		if err != nil || got != v {
+			t.Errorf("int %d round-tripped to %d (%v)", v, got, err)
+		}
+		// Minimal, non-negative encoding.
+		if len(body) > 1 && body[0] == 0 && body[1]&0x80 == 0 {
+			t.Errorf("int %d not minimal: %x", v, body)
+		}
+	}
+	if _, err := parseInt(nil); err == nil {
+		t.Error("empty integer: want error")
+	}
+	if _, err := parseInt([]byte{0x80}); err == nil {
+		t.Error("negative integer: want error")
+	}
+	if _, err := parseInt(make([]byte, 9)); err == nil {
+		t.Error("9-byte integer: want error")
+	}
+}
+
+func TestOIDCodec(t *testing.T) {
+	cases := [][]uint32{
+		{1, 3},
+		{1, 3, 6, 1, 6, 3, 15, 1, 1, 4, 0},
+		{2, 39, 840, 113549, 1},
+		{1, 3, 0, 200000},
+	}
+	for _, oid := range cases {
+		enc := appendOID(nil, oid)
+		body, _, err := expectTLV(enc, tagOID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := parseOID(body)
+		if err != nil || !oidEqual(got, oid) {
+			t.Errorf("OID %v round-tripped to %v (%v)", oid, got, err)
+		}
+	}
+	if _, err := parseOID(nil); err == nil {
+		t.Error("empty OID: want error")
+	}
+	if _, err := parseOID([]byte{0x2b, 0x86}); err == nil {
+		t.Error("unterminated arc: want error")
+	}
+	if oidEqual([]uint32{1, 3}, []uint32{1, 3, 6}) {
+		t.Error("oidEqual ignores length")
+	}
+}
+
+func TestDiscoveryRequestShape(t *testing.T) {
+	m := NewDiscoveryRequest(1001, 2002)
+	enc := m.Marshal()
+	got, err := Parse(enc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got.MsgID != 1001 || got.RequestID != 2002 {
+		t.Errorf("ids = %d/%d", got.MsgID, got.RequestID)
+	}
+	if got.Flags&FlagReportable == 0 {
+		t.Error("discovery must be reportable")
+	}
+	if len(got.EngineID) != 0 {
+		t.Error("discovery must carry an empty engine ID")
+	}
+	if got.PDUType != tagGetRequest {
+		t.Errorf("PDU type %#x, want GetRequest", got.PDUType)
+	}
+	if got.SecurityModel != SecurityModelUSM {
+		t.Errorf("security model %d", got.SecurityModel)
+	}
+}
+
+func TestMessageRoundTripWithVarBinds(t *testing.T) {
+	m := &Message{
+		MsgID: 7, MaxSize: DefaultMaxSize, Flags: 0, SecurityModel: SecurityModelUSM,
+		EngineID: []byte{0x80, 0, 0, 0x1f, 3, 1, 2, 3, 4, 5, 6}, EngineBoots: 3, EngineTime: 1234,
+		ContextEngineID: []byte{0x80, 0, 0, 0x1f, 3, 1, 2, 3, 4, 5, 6},
+		PDUType:         tagReport, RequestID: 9,
+		VarBinds: []VarBind{{OID: OIDUsmStatsUnknownEngineIDs, ValueTag: tagCounter32, Value: []byte{0x2a}}},
+	}
+	got, err := Parse(m.Marshal())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !got.IsReport() {
+		t.Error("IsReport = false")
+	}
+	if !bytes.Equal(got.EngineID, m.EngineID) {
+		t.Error("engine ID lost")
+	}
+	if got.EngineBoots != 3 || got.EngineTime != 1234 {
+		t.Errorf("boots/time = %d/%d", got.EngineBoots, got.EngineTime)
+	}
+	c, ok := got.UnknownEngineIDsCounter()
+	if !ok || c != 0x2a {
+		t.Errorf("counter = %d,%v", c, ok)
+	}
+	if !bytes.Equal(got.Marshal(), m.Marshal()) {
+		t.Error("re-marshal differs")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x30},
+		{0x04, 0x02, 1, 2}, // not a sequence
+		append((&Message{MsgID: 1, PDUType: tagGetRequest, SecurityModel: 3}).Marshal(), 0xff), // trailing
+	}
+	for i, b := range cases {
+		if _, err := Parse(b); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	// Wrong version.
+	m := NewDiscoveryRequest(1, 1).Marshal()
+	// Patch version integer (first INTEGER inside outer sequence):
+	// outer hdr is 2 or 3 bytes; find 0x02 0x01 0x03 pattern.
+	idx := bytes.Index(m, []byte{0x02, 0x01, 0x03})
+	if idx < 0 {
+		t.Fatal("version TLV not found")
+	}
+	m[idx+2] = 0x01
+	if _, err := Parse(m); err == nil {
+		t.Error("version 1: want error")
+	}
+}
+
+func TestNewEngineIDProperties(t *testing.T) {
+	a := NewEngineID(9, 42)
+	b := NewEngineID(9, 42)
+	c := NewEngineID(9, 43)
+	if !bytes.Equal(a, b) {
+		t.Error("engine ID not deterministic")
+	}
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced identical engine IDs")
+	}
+	if len(a) != 11 {
+		t.Errorf("engine ID length %d, want 11", len(a))
+	}
+	if a[0]&0x80 == 0 {
+		t.Error("enterprise high bit must be set (RFC 3411 format)")
+	}
+	if a[4] != engineIDFormatMAC {
+		t.Errorf("format octet %d, want MAC", a[4])
+	}
+}
+
+// agentFixture wires an agent onto a fabric device.
+func agentFixture(t *testing.T, boots int64) (*netsim.Fabric, *netsim.SimClock, netip.Addr, []byte) {
+	t.Helper()
+	clk := netsim.NewSimClock(time.Unix(10000, 0))
+	f := netsim.New(clk)
+	addr := netip.MustParseAddr("10.0.0.1")
+	addr2 := netip.MustParseAddr("10.0.0.2")
+	d, err := netsim.NewDevice(netsim.DeviceConfig{ID: "r1", Addrs: []netip.Addr{addr, addr2}}, clk.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	engineID := NewEngineID(3902, 777)
+	agent := NewAgent(AgentConfig{EngineID: engineID, EngineBoots: boots, BootTime: clk.Now().Add(-90 * time.Second)})
+	d.SetUDPService(Port, agent.Handle)
+	if err := f.AddDevice(d); err != nil {
+		t.Fatal(err)
+	}
+	return f, clk, addr, engineID
+}
+
+func TestDiscoverAgainstAgent(t *testing.T) {
+	f, _, addr, engineID := agentFixture(t, 5)
+	v := f.Vantage("scan")
+
+	res, ok, err := Discover(v, addr, 100, 200)
+	if err != nil || !ok {
+		t.Fatalf("Discover: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(res.EngineID, engineID) {
+		t.Errorf("engine ID = %x, want %x", res.EngineID, engineID)
+	}
+	if res.EngineBoots != 5 {
+		t.Errorf("boots = %d", res.EngineBoots)
+	}
+	if res.EngineTime != 90 {
+		t.Errorf("engine time = %d, want 90", res.EngineTime)
+	}
+	if res.Counter != 1 {
+		t.Errorf("counter = %d, want 1", res.Counter)
+	}
+
+	// Second probe increments the unknown-engine counter.
+	res2, _, err := Discover(v, addr, 101, 201)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Counter != 2 {
+		t.Errorf("second counter = %d, want 2", res2.Counter)
+	}
+
+	// Both interfaces answer with the same engine ID — the alias property.
+	res3, ok, err := Discover(v, netip.MustParseAddr("10.0.0.2"), 102, 202)
+	if err != nil || !ok {
+		t.Fatalf("Discover on second interface: %v", err)
+	}
+	if !bytes.Equal(res3.EngineID, engineID) {
+		t.Error("engine ID differs across interfaces")
+	}
+}
+
+func TestDiscoverNonResponders(t *testing.T) {
+	f, _, addr, _ := agentFixture(t, 0)
+	v := f.Vantage("scan")
+	if _, ok, _ := Discover(v, netip.MustParseAddr("10.99.0.1"), 1, 1); ok {
+		t.Error("unrouted address answered")
+	}
+	// Device exists but port 161 not served on a different device.
+	clk := netsim.NewSimClock(time.Unix(0, 0))
+	_ = clk
+	if _, ok, _ := Discover(v, addr, 1, 1); !ok {
+		t.Error("agent should answer")
+	}
+}
+
+func TestAgentDropsGarbageAndNonUSM(t *testing.T) {
+	agent := NewAgent(AgentConfig{EngineID: NewEngineID(1, 1)})
+	if resp := agent.Handle([]byte("not ber"), netsim.ServeContext{}); resp != nil {
+		t.Error("garbage should be dropped")
+	}
+	m := NewDiscoveryRequest(1, 1)
+	m.Flags = 0 // not reportable
+	if resp := agent.Handle(m.Marshal(), netsim.ServeContext{}); resp != nil {
+		t.Error("non-reportable request should be dropped")
+	}
+	m2 := NewDiscoveryRequest(1, 1)
+	m2.SecurityModel = 1
+	if resp := agent.Handle(m2.Marshal(), netsim.ServeContext{}); resp != nil {
+		t.Error("non-USM request should be dropped")
+	}
+	// Request already carrying the agent's engine ID is not a discovery.
+	m3 := NewDiscoveryRequest(1, 1)
+	m3.EngineID = NewEngineID(1, 1)
+	if resp := agent.Handle(m3.Marshal(), netsim.ServeContext{}); resp != nil {
+		t.Error("known-engine request should be dropped in this model")
+	}
+}
+
+func TestUDPServiceACL(t *testing.T) {
+	clk := netsim.NewSimClock(time.Unix(0, 0))
+	f := netsim.New(clk)
+	a1 := netip.MustParseAddr("10.0.0.1")
+	a2 := netip.MustParseAddr("10.0.0.2")
+	d, err := netsim.NewDevice(netsim.DeviceConfig{ID: "r1", Addrs: []netip.Addr{a1, a2}}, clk.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := NewAgent(AgentConfig{EngineID: NewEngineID(1, 2)})
+	d.SetUDPService(Port, agent.Handle, a1) // ACL: only a1 answers
+	if err := f.AddDevice(d); err != nil {
+		t.Fatal(err)
+	}
+	v := f.Vantage("scan")
+	if _, ok, _ := Discover(v, a1, 1, 1); !ok {
+		t.Error("ACL-allowed interface should answer")
+	}
+	if _, ok, _ := Discover(v, a2, 2, 2); ok {
+		t.Error("ACL-filtered interface should not answer")
+	}
+	if got := d.UDPServiceAddrs(Port); len(got) != 1 || got[0] != a1 {
+		t.Errorf("UDPServiceAddrs = %v", got)
+	}
+	if got := d.UDPServiceAddrs(999); got != nil {
+		t.Errorf("UDPServiceAddrs(999) = %v", got)
+	}
+}

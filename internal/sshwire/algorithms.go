@@ -1,0 +1,216 @@
+package sshwire
+
+// Algorithms is the symmetric algorithm offer of one SSH implementation: the
+// preference-ordered lists that go into the KEXINIT name-lists. Client-to-
+// server and server-to-client directions are almost universally identical in
+// real implementations, so one list per category suffices; the KEXINIT
+// builder duplicates them into both directions.
+type Algorithms struct {
+	// Kex lists key-exchange methods in preference order.
+	Kex []string
+	// HostKey lists host key algorithms in preference order.
+	HostKey []string
+	// Encryption lists ciphers in preference order.
+	Encryption []string
+	// MAC lists message authentication codes in preference order.
+	MAC []string
+	// Compression lists compression methods in preference order.
+	Compression []string
+}
+
+// Clone returns a deep copy, used when deriving per-interface variants.
+func (a Algorithms) Clone() Algorithms {
+	cp := func(s []string) []string { return append([]string(nil), s...) }
+	return Algorithms{
+		Kex:         cp(a.Kex),
+		HostKey:     cp(a.HostKey),
+		Encryption:  cp(a.Encryption),
+		MAC:         cp(a.MAC),
+		Compression: cp(a.Compression),
+	}
+}
+
+// KexInit renders the offer as a KEXINIT message with the given cookie.
+func (a Algorithms) KexInit(cookie [16]byte) *KexInit {
+	return &KexInit{
+		Cookie:                    cookie,
+		KexAlgorithms:             a.Kex,
+		ServerHostKeyAlgorithms:   a.HostKey,
+		EncryptionClientToServer:  a.Encryption,
+		EncryptionServerToClient:  a.Encryption,
+		MACClientToServer:         a.MAC,
+		MACServerToClient:         a.MAC,
+		CompressionClientToServer: a.Compression,
+		CompressionServerToClient: a.Compression,
+	}
+}
+
+// Profile bundles a banner with an algorithm offer: one SSH software
+// personality. The simulated world assigns profiles to devices; the scanner
+// never sees profiles, only their wire image.
+type Profile struct {
+	// Name is a stable profile label.
+	Name string
+	// Banner is the identification string sent after the TCP handshake.
+	Banner string
+	// Algorithms is the KEXINIT offer.
+	Algorithms Algorithms
+}
+
+// Built-in profiles modelled on widely deployed server implementations. The
+// exact lists matter less than their diversity and stable ordering: the
+// paper's identifier treats them as opaque ordered strings. Every profile
+// supports curve25519-sha256 and ssh-ed25519 — this repository's uniform key
+// exchange — which stands in for ZGrab2's broader algorithm support.
+var Profiles = []Profile{
+	{
+		Name:   "openssh-9.2-debian",
+		Banner: "SSH-2.0-OpenSSH_9.2p1 Debian-2+deb12u3",
+		Algorithms: Algorithms{
+			Kex: []string{
+				"sntrup761x25519-sha512@openssh.com", KexCurve25519, KexCurve25519LibSSH,
+				"ecdh-sha2-nistp256", "ecdh-sha2-nistp384", "ecdh-sha2-nistp521",
+				"diffie-hellman-group-exchange-sha256", "diffie-hellman-group16-sha512",
+				"diffie-hellman-group18-sha512", "diffie-hellman-group14-sha256",
+			},
+			HostKey: []string{"rsa-sha2-512", "rsa-sha2-256", "ecdsa-sha2-nistp256", HostKeyEd25519},
+			Encryption: []string{
+				"chacha20-poly1305@openssh.com", "aes128-ctr", "aes192-ctr", "aes256-ctr",
+				"aes128-gcm@openssh.com", "aes256-gcm@openssh.com",
+			},
+			MAC: []string{
+				"umac-64-etm@openssh.com", "umac-128-etm@openssh.com",
+				"hmac-sha2-256-etm@openssh.com", "hmac-sha2-512-etm@openssh.com",
+				"hmac-sha1-etm@openssh.com", "umac-64@openssh.com", "umac-128@openssh.com",
+				"hmac-sha2-256", "hmac-sha2-512", "hmac-sha1",
+			},
+			Compression: []string{"none", "zlib@openssh.com"},
+		},
+	},
+	{
+		Name:   "openssh-8.9-ubuntu",
+		Banner: "SSH-2.0-OpenSSH_8.9p1 Ubuntu-3ubuntu0.10",
+		Algorithms: Algorithms{
+			Kex: []string{
+				KexCurve25519, KexCurve25519LibSSH, "ecdh-sha2-nistp256",
+				"ecdh-sha2-nistp384", "ecdh-sha2-nistp521",
+				"diffie-hellman-group-exchange-sha256", "diffie-hellman-group16-sha512",
+				"diffie-hellman-group18-sha512", "diffie-hellman-group14-sha256",
+			},
+			HostKey: []string{"rsa-sha2-512", "rsa-sha2-256", "ecdsa-sha2-nistp256", HostKeyEd25519},
+			Encryption: []string{
+				"chacha20-poly1305@openssh.com", "aes128-ctr", "aes192-ctr", "aes256-ctr",
+				"aes128-gcm@openssh.com", "aes256-gcm@openssh.com",
+			},
+			MAC: []string{
+				"umac-64-etm@openssh.com", "umac-128-etm@openssh.com",
+				"hmac-sha2-256-etm@openssh.com", "hmac-sha2-512-etm@openssh.com",
+				"hmac-sha1-etm@openssh.com", "umac-64@openssh.com", "umac-128@openssh.com",
+				"hmac-sha2-256", "hmac-sha2-512", "hmac-sha1",
+			},
+			Compression: []string{"none", "zlib@openssh.com"},
+		},
+	},
+	{
+		Name:   "openssh-7.4-centos",
+		Banner: "SSH-2.0-OpenSSH_7.4",
+		Algorithms: Algorithms{
+			Kex: []string{
+				KexCurve25519, KexCurve25519LibSSH, "ecdh-sha2-nistp256",
+				"ecdh-sha2-nistp384", "ecdh-sha2-nistp521",
+				"diffie-hellman-group-exchange-sha256", "diffie-hellman-group16-sha512",
+				"diffie-hellman-group18-sha512", "diffie-hellman-group-exchange-sha1",
+				"diffie-hellman-group14-sha256", "diffie-hellman-group14-sha1", "diffie-hellman-group1-sha1",
+			},
+			HostKey:    []string{"ssh-rsa", "rsa-sha2-512", "rsa-sha2-256", "ecdsa-sha2-nistp256", HostKeyEd25519},
+			Encryption: []string{"chacha20-poly1305@openssh.com", "aes128-ctr", "aes192-ctr", "aes256-ctr"},
+			MAC: []string{
+				"umac-64-etm@openssh.com", "umac-128-etm@openssh.com",
+				"hmac-sha2-256-etm@openssh.com", "hmac-sha2-512-etm@openssh.com",
+				"hmac-sha1-etm@openssh.com", "hmac-sha2-256", "hmac-sha2-512", "hmac-sha1",
+			},
+			Compression: []string{"none", "zlib@openssh.com"},
+		},
+	},
+	{
+		Name:   "dropbear-2022",
+		Banner: "SSH-2.0-dropbear_2022.83",
+		Algorithms: Algorithms{
+			Kex: []string{
+				KexCurve25519, KexCurve25519LibSSH, "ecdh-sha2-nistp521",
+				"ecdh-sha2-nistp384", "ecdh-sha2-nistp256",
+				"diffie-hellman-group14-sha256", "diffie-hellman-group14-sha1",
+				"kexguess2@matt.ucc.asn.au",
+			},
+			HostKey:     []string{HostKeyEd25519, "ecdsa-sha2-nistp256", "rsa-sha2-256", "ssh-rsa"},
+			Encryption:  []string{"chacha20-poly1305@openssh.com", "aes128-ctr", "aes256-ctr"},
+			MAC:         []string{"hmac-sha2-256", "hmac-sha1"},
+			Compression: []string{"none"},
+		},
+	},
+	{
+		Name:   "cisco-ios-xe",
+		Banner: "SSH-2.0-Cisco-1.25",
+		Algorithms: Algorithms{
+			Kex: []string{
+				KexCurve25519, "ecdh-sha2-nistp256", "ecdh-sha2-nistp384", "ecdh-sha2-nistp521",
+				"diffie-hellman-group14-sha256", "diffie-hellman-group14-sha1",
+			},
+			HostKey:     []string{HostKeyEd25519, "rsa-sha2-512", "rsa-sha2-256", "ssh-rsa"},
+			Encryption:  []string{"aes128-gcm@openssh.com", "aes256-gcm@openssh.com", "aes128-ctr", "aes192-ctr", "aes256-ctr"},
+			MAC:         []string{"hmac-sha2-256", "hmac-sha2-512", "hmac-sha1"},
+			Compression: []string{"none"},
+		},
+	},
+	{
+		Name:   "mikrotik-routeros",
+		Banner: "SSH-2.0-ROSSSH",
+		Algorithms: Algorithms{
+			Kex: []string{
+				KexCurve25519, "ecdh-sha2-nistp256", "diffie-hellman-group14-sha256",
+				"diffie-hellman-group14-sha1", "diffie-hellman-group1-sha1",
+			},
+			HostKey:     []string{HostKeyEd25519, "rsa-sha2-256", "ssh-rsa"},
+			Encryption:  []string{"aes128-ctr", "aes192-ctr", "aes256-ctr", "aes128-cbc", "3des-cbc"},
+			MAC:         []string{"hmac-sha2-256", "hmac-sha1", "hmac-md5"},
+			Compression: []string{"none"},
+		},
+	},
+	{
+		Name:   "juniper-junos",
+		Banner: "SSH-2.0-OpenSSH_7.5 FIPS",
+		Algorithms: Algorithms{
+			Kex: []string{
+				KexCurve25519, "ecdh-sha2-nistp256", "ecdh-sha2-nistp384",
+				"diffie-hellman-group-exchange-sha256", "diffie-hellman-group14-sha256",
+			},
+			HostKey:     []string{HostKeyEd25519, "ecdsa-sha2-nistp256", "rsa-sha2-512", "ssh-rsa"},
+			Encryption:  []string{"aes128-ctr", "aes192-ctr", "aes256-ctr", "aes128-gcm@openssh.com"},
+			MAC:         []string{"hmac-sha2-256", "hmac-sha2-512", "hmac-sha1"},
+			Compression: []string{"none", "zlib@openssh.com"},
+		},
+	},
+}
+
+// ProfileByName returns the built-in profile with the given name, or nil.
+func ProfileByName(name string) *Profile {
+	for i := range Profiles {
+		if Profiles[i].Name == name {
+			return &Profiles[i]
+		}
+	}
+	return nil
+}
+
+// DefaultClientAlgorithms is the scanner's offer. Host keys are restricted to
+// ssh-ed25519 so negotiation always lands on the one host-key algorithm this
+// repository implements; the kex list leads with curve25519.
+func DefaultClientAlgorithms() Algorithms {
+	return Algorithms{
+		Kex:         []string{KexCurve25519, KexCurve25519LibSSH},
+		HostKey:     []string{HostKeyEd25519},
+		Encryption:  []string{"chacha20-poly1305@openssh.com", "aes128-ctr", "aes256-ctr"},
+		MAC:         []string{"hmac-sha2-256", "hmac-sha2-512", "hmac-sha1"},
+		Compression: []string{"none"},
+	}
+}

@@ -1,0 +1,121 @@
+package sshwire
+
+import (
+	"fmt"
+)
+
+// KexInit is the SSH_MSG_KEXINIT payload (RFC 4253 §7.1). The ten name-lists
+// MUST each be ordered by preference, which is why their exact content and
+// order fingerprint the implementation — the first half of the paper's SSH
+// identifier.
+type KexInit struct {
+	// Cookie is 16 random bytes; it does not participate in identifiers.
+	Cookie [16]byte
+	// KexAlgorithms through Languages are the ten RFC 4253 name-lists.
+	KexAlgorithms             []string
+	ServerHostKeyAlgorithms   []string
+	EncryptionClientToServer  []string
+	EncryptionServerToClient  []string
+	MACClientToServer         []string
+	MACServerToClient         []string
+	CompressionClientToServer []string
+	CompressionServerToClient []string
+	LanguagesClientToServer   []string
+	LanguagesServerToClient   []string
+	// FirstKexPacketFollows signals an optimistic guessed kex packet.
+	FirstKexPacketFollows bool
+	// Reserved is transmitted as zero by every known implementation.
+	Reserved uint32
+}
+
+// Marshal encodes the message payload, including the leading message number.
+func (k *KexInit) Marshal() []byte {
+	out := []byte{MsgKexInit}
+	out = append(out, k.Cookie[:]...)
+	for _, list := range k.nameLists() {
+		out = AppendNameList(out, list)
+	}
+	if k.FirstKexPacketFollows {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	return AppendUint32(out, k.Reserved)
+}
+
+// nameLists returns the ten lists in wire order.
+func (k *KexInit) nameLists() [][]string {
+	return [][]string{
+		k.KexAlgorithms,
+		k.ServerHostKeyAlgorithms,
+		k.EncryptionClientToServer,
+		k.EncryptionServerToClient,
+		k.MACClientToServer,
+		k.MACServerToClient,
+		k.CompressionClientToServer,
+		k.CompressionServerToClient,
+		k.LanguagesClientToServer,
+		k.LanguagesServerToClient,
+	}
+}
+
+// ParseKexInit decodes an SSH_MSG_KEXINIT payload (with message number).
+func ParseKexInit(payload []byte) (*KexInit, error) {
+	if len(payload) < 1 || payload[0] != MsgKexInit {
+		return nil, fmt.Errorf("%w: not a KEXINIT", ErrBadPacket)
+	}
+	b := payload[1:]
+	if len(b) < 16 {
+		return nil, ErrShortBuffer
+	}
+	var k KexInit
+	copy(k.Cookie[:], b[:16])
+	b = b[16:]
+	lists := make([][]string, 10)
+	var err error
+	for i := range lists {
+		lists[i], b, err = ReadNameList(b)
+		if err != nil {
+			return nil, fmt.Errorf("sshwire: KEXINIT name-list %d: %w", i, err)
+		}
+	}
+	k.KexAlgorithms = lists[0]
+	k.ServerHostKeyAlgorithms = lists[1]
+	k.EncryptionClientToServer = lists[2]
+	k.EncryptionServerToClient = lists[3]
+	k.MACClientToServer = lists[4]
+	k.MACServerToClient = lists[5]
+	k.CompressionClientToServer = lists[6]
+	k.CompressionServerToClient = lists[7]
+	k.LanguagesClientToServer = lists[8]
+	k.LanguagesServerToClient = lists[9]
+	if len(b) < 5 {
+		return nil, ErrShortBuffer
+	}
+	k.FirstKexPacketFollows = b[0] != 0
+	k.Reserved, _, err = ReadUint32(b[1:])
+	if err != nil {
+		return nil, err
+	}
+	return &k, nil
+}
+
+// negotiate picks the first client algorithm also present on the server list
+// (RFC 4253 §7.1 negotiation rule).
+func negotiate(client, server []string) (string, bool) {
+	for _, c := range client {
+		for _, s := range server {
+			if c == s {
+				return c, true
+			}
+		}
+	}
+	return "", false
+}
+
+// Algorithm names used by this implementation.
+const (
+	KexCurve25519       = "curve25519-sha256"
+	KexCurve25519LibSSH = "curve25519-sha256@libssh.org"
+	HostKeyEd25519      = "ssh-ed25519"
+)

@@ -1,0 +1,62 @@
+package topo
+
+import (
+	"testing"
+
+	"aliaslimit/internal/ptrdns"
+)
+
+func TestWorldPTRZone(t *testing.T) {
+	cfg := Default()
+	cfg.Scale = 0.05
+	cfg.Seed = 31
+	w, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.PTR) == 0 {
+		t.Fatal("world has no PTR zone")
+	}
+	// Coverage must be partial: fewer names than addresses, and v6 coverage
+	// thinner than v4.
+	v4Named, v6Named := 0, 0
+	for a := range w.PTR {
+		if a.Is4() {
+			v4Named++
+		} else {
+			v6Named++
+		}
+	}
+	totalV4 := len(w.V4Universe())
+	if v4Named == 0 || v4Named >= totalV4 {
+		t.Errorf("v4 PTR coverage degenerate: %d of %d", v4Named, totalV4)
+	}
+	if v6Named == 0 {
+		t.Error("no v6 PTR names")
+	}
+
+	// PTR-based dual-stack inference must work but find far fewer pairs
+	// than the identifier technique would (coverage and generic names).
+	ds := ptrdns.InferDualStack(w.PTR)
+	if len(ds) == 0 {
+		t.Fatal("PTR inference found nothing")
+	}
+	// Every PTR pair of non-CDN names must actually be one device.
+	wrong := 0
+	for _, s := range ds {
+		devs := map[string]bool{}
+		for _, a := range s.Addrs {
+			if d := w.Fabric.Lookup(a); d != nil {
+				devs[d.ID()] = true
+			}
+		}
+		if len(devs) > 1 {
+			wrong++
+		}
+	}
+	// The shared-CDN names create a small number of false pairs; they must
+	// stay a small minority.
+	if frac := float64(wrong) / float64(len(ds)); frac > 0.15 {
+		t.Errorf("%.0f%% of PTR pairs are false (%d of %d)", 100*frac, wrong, len(ds))
+	}
+}

@@ -1,0 +1,317 @@
+package topo
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"aliaslimit/internal/netsim"
+	"aliaslimit/internal/snmpv3"
+)
+
+func smallWorld(t *testing.T, seed uint64) *World {
+	t.Helper()
+	cfg := Default()
+	cfg.Seed = seed
+	cfg.Scale = 0.05
+	w, err := Build(cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return w
+}
+
+func TestBuildValidation(t *testing.T) {
+	cfg := Default()
+	cfg.Scale = 0
+	if _, err := Build(cfg); err == nil {
+		t.Error("Scale 0: want error")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := smallWorld(t, 7)
+	b := smallWorld(t, 7)
+	if len(a.V4Universe()) != len(b.V4Universe()) {
+		t.Fatalf("universe sizes differ: %d vs %d", len(a.V4Universe()), len(b.V4Universe()))
+	}
+	for i := range a.V4Universe() {
+		if a.V4Universe()[i] != b.V4Universe()[i] {
+			t.Fatalf("universe diverges at %d", i)
+		}
+	}
+	if a.Fabric.NumDevices() != b.Fabric.NumDevices() {
+		t.Error("device counts differ")
+	}
+	// Different seed -> different world.
+	c := smallWorld(t, 8)
+	if len(a.V4Universe()) == len(c.V4Universe()) && a.Fabric.NumDevices() == c.Fabric.NumDevices() {
+		// Counts may coincide; check a content difference.
+		same := 0
+		for i := 0; i < 100 && i < len(a.V4Universe()) && i < len(c.V4Universe()); i++ {
+			if a.V4Universe()[i] == c.V4Universe()[i] {
+				same++
+			}
+		}
+		if same == 100 {
+			t.Error("different seeds produced identical universes")
+		}
+	}
+}
+
+func TestUniverseSortedAndMapped(t *testing.T) {
+	w := smallWorld(t, 1)
+	u := w.V4Universe()
+	if len(u) == 0 {
+		t.Fatal("empty universe")
+	}
+	for i := 1; i < len(u); i++ {
+		if !u[i-1].Less(u[i]) {
+			t.Fatalf("universe not strictly sorted at %d (%s >= %s)", i, u[i-1], u[i])
+		}
+	}
+	for _, a := range u[:100] {
+		if _, ok := w.AddrASN[a]; !ok {
+			t.Errorf("address %s missing from AddrASN", a)
+		}
+	}
+	for i := 1; i < len(w.V6Bound()); i++ {
+		if !w.V6Bound()[i-1].Less(w.V6Bound()[i]) {
+			t.Fatal("v6 list not sorted")
+		}
+	}
+}
+
+func TestPopulationShape(t *testing.T) {
+	w := smallWorld(t, 1)
+	truth := w.Truth
+
+	sshMulti, sshSingle := 0, 0
+	for _, addrs := range truth.SSHAddrs {
+		v4 := 0
+		for _, a := range addrs {
+			if a.Is4() {
+				v4++
+			}
+		}
+		if v4 >= 2 {
+			sshMulti++
+		} else if v4 == 1 {
+			sshSingle++
+		}
+	}
+	if sshSingle < 500 {
+		t.Errorf("single SSH servers = %d, want hundreds at scale 0.05", sshSingle)
+	}
+	if sshMulti < 20 {
+		t.Errorf("multi SSH hosts = %d, want ~46", sshMulti)
+	}
+	if sshMulti > sshSingle/5 {
+		t.Errorf("multi/single ratio off: %d multi vs %d single", sshMulti, sshSingle)
+	}
+
+	bgpIdentifiable := len(truth.BGPAddrs)
+	if bgpIdentifiable < 5 {
+		t.Errorf("identifiable BGP devices = %d", bgpIdentifiable)
+	}
+	snmp := len(truth.SNMPAddrs)
+	if snmp < 500 {
+		t.Errorf("SNMP devices = %d", snmp)
+	}
+	if len(w.V6Bound()) == 0 {
+		t.Error("no IPv6 addresses generated")
+	}
+}
+
+func TestServicesActuallyAnswer(t *testing.T) {
+	w := smallWorld(t, 1)
+	v := w.Fabric.Vantage("test-vantage") // unfiltered label
+	checked := 0
+	for id, addrs := range w.Truth.SSHAddrs {
+		if checked >= 5 || len(addrs) == 0 {
+			break
+		}
+		if got := v.SynProbe(addrs[0], 22); got != netsim.StatusOpen {
+			t.Errorf("device %s addr %s: SSH probe = %v", id, addrs[0], got)
+		}
+		checked++
+	}
+	checked = 0
+	for id, addrs := range w.Truth.SNMPAddrs {
+		if checked >= 5 || len(addrs) == 0 {
+			break
+		}
+		if _, ok, err := snmpv3.Discover(v, addrs[0], 1, 1); !ok || err != nil {
+			t.Errorf("device %s addr %s: SNMP discover ok=%v err=%v", id, addrs[0], ok, err)
+		}
+		checked++
+	}
+	checked = 0
+	for id, addrs := range w.Truth.BGPAddrs {
+		if checked >= 5 || len(addrs) == 0 {
+			break
+		}
+		if got := v.SynProbe(addrs[0], 179); got != netsim.StatusOpen {
+			t.Errorf("device %s addr %s: BGP probe = %v", id, addrs[0], got)
+		}
+		checked++
+	}
+}
+
+func TestVantageCoverageDiffers(t *testing.T) {
+	w := smallWorld(t, 1)
+	active := w.Fabric.Vantage(VantageActive)
+	censys := w.Fabric.Vantage(VantageCensys)
+	activeOnly, censysOnly, both := 0, 0, 0
+	for _, addrs := range w.Truth.SSHAddrs {
+		for _, a := range addrs {
+			if !a.Is4() {
+				continue
+			}
+			aOpen := active.SynProbe(a, 22) == netsim.StatusOpen
+			cOpen := censys.SynProbe(a, 22) == netsim.StatusOpen
+			switch {
+			case aOpen && cOpen:
+				both++
+			case aOpen:
+				activeOnly++
+			case cOpen:
+				censysOnly++
+			}
+		}
+	}
+	if both == 0 || activeOnly == 0 || censysOnly == 0 {
+		t.Fatalf("coverage split degenerate: both=%d activeOnly=%d censysOnly=%d",
+			both, activeOnly, censysOnly)
+	}
+	// Censys must see noticeably more than the active vantage (the paper's
+	// ~1.35x SSH gap): censysOnly outnumbers activeOnly.
+	if censysOnly <= activeOnly {
+		t.Errorf("censys-only (%d) should exceed active-only (%d)", censysOnly, activeOnly)
+	}
+}
+
+func TestChurnReassignsAddresses(t *testing.T) {
+	w := smallWorld(t, 3)
+	before := w.Fabric.NumDevices()
+	n := w.ApplyChurn(0.10, 1)
+	if n == 0 {
+		t.Fatal("churn reassigned nothing")
+	}
+	if w.Fabric.NumDevices() <= before {
+		t.Error("churn should add replacement devices")
+	}
+	// Churned addresses still answer (new device), but ground truth moved.
+	moved := 0
+	for _, c := range w.churnable {
+		d := w.Fabric.Lookup(c.addr)
+		if d != nil && d.ID() != c.deviceID {
+			moved++
+		}
+	}
+	if moved != n {
+		t.Errorf("moved=%d, ApplyChurn reported %d", moved, n)
+	}
+	// Second round with same inputs is deterministic and does not re-churn
+	// the same addresses to conflicting devices.
+	n2 := w.ApplyChurn(0.10, 1)
+	if n2 != 0 {
+		t.Errorf("re-applying identical churn round: %d new reassignments, want 0", n2)
+	}
+}
+
+func TestFleetKeysShared(t *testing.T) {
+	// At default probabilities small worlds may have zero fleets; force it.
+	cfg := Default()
+	cfg.Scale = 0.05
+	cfg.PSharedSSHKey = 0.5
+	w, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := 0
+	for _, ids := range w.Truth.Fleets {
+		if len(ids) >= 2 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no multi-device fleets at PSharedSSHKey=0.5")
+	}
+}
+
+func TestASNOfAddrAgreesWithMap(t *testing.T) {
+	w := smallWorld(t, 1)
+	checked := 0
+	for a, asn := range w.AddrASN {
+		got, ok := ASNOfAddr(w.ASes, a)
+		if !ok {
+			t.Errorf("ASNOfAddr(%s) failed", a)
+			continue
+		}
+		// Border-router interfaces carry an override ASN in the map that
+		// prefix attribution cannot see — for those, the prefix owner and
+		// the map legitimately agree anyway because the address was
+		// allocated from the neighbour's space.
+		if got != asn {
+			t.Errorf("ASNOfAddr(%s) = %d, map says %d", a, got, asn)
+		}
+		checked++
+		if checked > 500 {
+			break
+		}
+	}
+}
+
+func TestASPlanHasAllKinds(t *testing.T) {
+	w := smallWorld(t, 1)
+	kinds := map[ASKind]int{}
+	for _, a := range w.ASes {
+		kinds[a.Kind]++
+	}
+	for _, k := range []ASKind{KindCloud, KindISP, KindEnterprise} {
+		if kinds[k] == 0 {
+			t.Errorf("no ASes of kind %v", k)
+		}
+	}
+	if w.ASByNumber(14061) == nil {
+		t.Error("DigitalOcean AS missing")
+	}
+	if w.ASByNumber(999999999) != nil {
+		t.Error("phantom AS found")
+	}
+	if KindCloud.String() != "cloud" || KindISP.String() != "isp" ||
+		KindEnterprise.String() != "enterprise" || ASKind(9).String() != "unknown" {
+		t.Error("ASKind names wrong")
+	}
+}
+
+func TestAllocatorsAreDisjoint(t *testing.T) {
+	a1 := &AS{ASN: 1, index: 0}
+	a2 := &AS{ASN: 2, index: 1}
+	seen := map[netip.Addr]bool{}
+	for i := 0; i < 1000; i++ {
+		for _, a := range []netip.Addr{a1.AllocV4(), a2.AllocV4(), a1.AllocV6(), a2.AllocV6()} {
+			if seen[a] {
+				t.Fatalf("duplicate allocation %s", a)
+			}
+			seen[a] = true
+		}
+	}
+}
+
+func TestPickASWeighted(t *testing.T) {
+	ases := buildASes(Default())
+	counts := map[uint32]int{}
+	for i := 0; i < 4000; i++ {
+		a := pickAS(ases, KindCloud, "t", fmt.Sprint(i))
+		if a.Kind != KindCloud {
+			t.Fatalf("pickAS returned kind %v", a.Kind)
+		}
+		counts[a.ASN]++
+	}
+	// The heaviest cloud AS (DigitalOcean) must dominate the lightest.
+	if counts[14061] <= counts[7506] {
+		t.Errorf("weighting broken: AS14061=%d AS7506=%d", counts[14061], counts[7506])
+	}
+}

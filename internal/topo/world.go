@@ -1,0 +1,193 @@
+package topo
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"aliaslimit/internal/netsim"
+	"aliaslimit/internal/ptrdns"
+	"aliaslimit/internal/xrand"
+)
+
+// Vantage labels. Devices may filter one of them, reproducing the coverage
+// differences between the paper's single research vantage point and Censys's
+// distributed scanners.
+const (
+	// VantageActive is the single research vantage point in a German data
+	// center (the paper's active measurement).
+	VantageActive = "active"
+	// VantageCensys is the distributed Censys infrastructure.
+	VantageCensys = "censys"
+	// VantageMIDAR is the IPID prober; devices do not filter it separately
+	// (MIDAR ran from the same infrastructure).
+	VantageMIDAR = "active"
+)
+
+// AuxVantages is the number of auxiliary geographic vantage points every
+// world supports, for the paper's future-work question of how vantage
+// location affects coverage (§5). Each device independently filters each
+// auxiliary vantage with the same probability as the primary one.
+const AuxVantages = 8
+
+// AuxVantage returns the label of auxiliary vantage point i in [0,
+// AuxVantages).
+func AuxVantage(i int) string { return fmt.Sprintf("vp%d", i) }
+
+// Origin is the simulated world's epoch: the Censys snapshot date the paper
+// used (March 28, 2023). The active scan runs three simulated weeks later.
+var Origin = time.Date(2023, 3, 28, 0, 0, 0, 0, time.UTC)
+
+// Truth is the generator's ground truth, used by integration tests
+// (precision/recall of the inference) and by experiment sanity checks. Maps
+// are keyed by device ID and list the addresses on which the service
+// actually answers (post-ACL).
+type Truth struct {
+	// SSHAddrs lists SSH-responsive addresses per device.
+	SSHAddrs map[string][]netip.Addr
+	// BGPAddrs lists identifiable (OPEN-sending) addresses per device.
+	BGPAddrs map[string][]netip.Addr
+	// SNMPAddrs lists SNMPv3-responsive addresses per device.
+	SNMPAddrs map[string][]netip.Addr
+	// Fleets maps a fleet-key label to the device IDs sharing that SSH
+	// host key (the false-merge population).
+	Fleets map[string][]string
+}
+
+// World is a generated synthetic Internet.
+type World struct {
+	// Cfg is the configuration the world was built from.
+	Cfg Config
+	// Clock drives the fabric; experiments advance it.
+	Clock *netsim.SimClock
+	// Fabric is the simulated network.
+	Fabric *netsim.Fabric
+	// ASes is the AS plan.
+	ASes []*AS
+	// AddrASN maps every allocated address (bound or decoy) to its origin
+	// AS — the mapping the AS-level analyses use.
+	AddrASN map[netip.Addr]uint32
+	// PTR is the reverse-DNS zone: partial, noisy, and full of generic
+	// names, as real in-addr.arpa is. The ptrdns baseline reads it.
+	PTR ptrdns.Registry
+	// Truth is the ground truth.
+	Truth *Truth
+
+	v4Universe []netip.Addr
+	v6Bound    []netip.Addr
+
+	churnable []churnRecord
+	decoyAS   *AS
+}
+
+// churnRecord remembers a single-address server that dynamic addressing may
+// reassign between measurement epochs.
+type churnRecord struct {
+	deviceID string
+	addr     netip.Addr
+}
+
+// V4Universe returns the IPv4 scan target list (bound addresses plus
+// decoys), sorted. The returned slice is shared; do not modify.
+func (w *World) V4Universe() []netip.Addr { return w.v4Universe }
+
+// V6Bound returns every bound IPv6 address, sorted. Hitlists sample this.
+func (w *World) V6Bound() []netip.Addr { return w.v6Bound }
+
+// Build generates a world from cfg.
+func Build(cfg Config) (*World, error) {
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("topo: Scale must be positive, got %v", cfg.Scale)
+	}
+	clock := netsim.NewSimClock(Origin)
+	w := &World{
+		Cfg:     cfg,
+		Clock:   clock,
+		Fabric:  netsim.New(clock),
+		ASes:    buildASes(cfg),
+		AddrASN: make(map[netip.Addr]uint32),
+		PTR:     make(ptrdns.Registry),
+		Truth: &Truth{
+			SSHAddrs:  make(map[string][]netip.Addr),
+			BGPAddrs:  make(map[string][]netip.Addr),
+			SNMPAddrs: make(map[string][]netip.Addr),
+			Fleets:    make(map[string][]string),
+		},
+	}
+	g := &generator{w: w, cfg: cfg, fleets: make(map[string]*fleetKey)}
+	if err := g.run(); err != nil {
+		return nil, err
+	}
+	sort.Slice(w.v4Universe, func(i, j int) bool { return w.v4Universe[i].Less(w.v4Universe[j]) })
+	sort.Slice(w.v6Bound, func(i, j int) bool { return w.v6Bound[i].Less(w.v6Bound[j]) })
+	return w, nil
+}
+
+// bind registers a device on the fabric and records its addresses in the
+// universes and the AS map.
+func (w *World) bind(d *netsim.Device, deviceAS *AS) error {
+	if err := w.Fabric.AddDevice(d); err != nil {
+		return err
+	}
+	for _, a := range d.Addrs() {
+		w.AddrASN[a] = d.AddrASN(a)
+		if a.Is4() {
+			w.v4Universe = append(w.v4Universe, a)
+		} else {
+			w.v6Bound = append(w.v6Bound, a)
+		}
+	}
+	_ = deviceAS
+	return nil
+}
+
+// ApplyChurn reassigns a fraction of dynamic single-server addresses to
+// fresh devices with new SSH keys, as consumer and cloud address pools do
+// over weeks. It returns the number of reassigned addresses. Deterministic
+// per (seed, round).
+func (w *World) ApplyChurn(frac float64, round int) int {
+	n := 0
+	for _, c := range w.churnable {
+		if xrand.Prob(c.deviceID, "churn", fmt.Sprint(round)) >= frac {
+			continue
+		}
+		old := w.Fabric.Device(c.deviceID)
+		if old == nil || w.Fabric.Lookup(c.addr) != old {
+			continue // already churned in an earlier round
+		}
+		w.Fabric.Unbind(c.addr)
+		g := &generator{w: w, cfg: w.Cfg, fleets: make(map[string]*fleetKey)}
+		id := fmt.Sprintf("%s-churn%d", c.deviceID, round)
+		if err := g.replacementServer(id, c.addr); err != nil {
+			// Allocation cannot fail for a replacement (address reused);
+			// if it somehow does, leave the address dark — also realistic.
+			continue
+		}
+		// Ground truth: the old device no longer answers on this address.
+		w.Truth.SSHAddrs[c.deviceID] = removeAddr(w.Truth.SSHAddrs[c.deviceID], c.addr)
+		n++
+	}
+	return n
+}
+
+// removeAddr drops addr from list, preserving order.
+func removeAddr(list []netip.Addr, addr netip.Addr) []netip.Addr {
+	out := list[:0]
+	for _, a := range list {
+		if a != addr {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ASByNumber returns the AS with the given ASN, or nil.
+func (w *World) ASByNumber(asn uint32) *AS {
+	for _, a := range w.ASes {
+		if a.ASN == asn {
+			return a
+		}
+	}
+	return nil
+}

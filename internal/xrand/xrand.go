@@ -1,0 +1,168 @@
+// Package xrand provides small deterministic randomness helpers shared by the
+// topology generator and the network simulator.
+//
+// Reproducibility is a core requirement of this repository: every experiment
+// must regenerate the same tables from the same seed. The standard library's
+// math/rand/v2 is seedable, but many call sites here need *stateless*
+// determinism — "given this device ID and this knob name, draw a stable
+// pseudo-random value" — so that adding a new draw somewhere does not perturb
+// every draw after it. xrand therefore offers both:
+//
+//   - a seedable stream RNG (SplitMix64) for ordered generation, and
+//   - stateless keyed draws (Hash64, Prob, Intn) derived from FNV-1a over the
+//     key strings, for per-entity decisions.
+package xrand
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// SplitMix64 is a tiny, fast, well-distributed PRNG. It is the generator
+// recommended for seeding other PRNGs and is more than adequate for driving a
+// synthetic topology. The zero value is a valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next value in the stream.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 returns a non-negative int64.
+func (s *SplitMix64) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (s *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *SplitMix64) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Fork derives an independent child generator from the current state and a
+// label, without advancing the parent identically for different labels.
+func (s *SplitMix64) Fork(label string) *SplitMix64 {
+	return NewSplitMix64(s.Uint64() ^ Hash64(label))
+}
+
+// fnvOffset and fnvPrime are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash64 returns a stable 64-bit FNV-1a hash of the concatenated keys, with a
+// separator byte between keys so that ("ab","c") != ("a","bc").
+func Hash64(keys ...string) uint64 {
+	h := uint64(fnvOffset)
+	for _, k := range keys {
+		for i := 0; i < len(k); i++ {
+			h ^= uint64(k[i])
+			h *= fnvPrime
+		}
+		h ^= 0xff // separator
+		h *= fnvPrime
+	}
+	// Final avalanche (from SplitMix64) so that short keys spread well.
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// Hash64Bytes is Hash64 over a single byte-slice key.
+func Hash64Bytes(b []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// Prob returns a stable pseudo-random value in [0, 1) keyed by keys.
+// Typical use: xrand.Prob(deviceID, "filters-single-vantage") < 0.2.
+func Prob(keys ...string) float64 {
+	return float64(Hash64(keys...)>>11) / (1 << 53)
+}
+
+// Intn returns a stable pseudo-random value in [0, n) keyed by keys.
+func Intn(n int, keys ...string) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(Hash64(keys...) % uint64(n))
+}
+
+// Bytes fills b with stable pseudo-random bytes keyed by keys. Successive
+// 8-byte blocks are drawn from a SplitMix64 stream seeded with Hash64(keys).
+func Bytes(b []byte, keys ...string) {
+	s := NewSplitMix64(Hash64(keys...))
+	var buf [8]byte
+	for i := 0; i < len(b); i += 8 {
+		binary.LittleEndian.PutUint64(buf[:], s.Uint64())
+		copy(b[i:], buf[:])
+	}
+}
+
+// Exp returns a stable exponentially distributed value with the given mean,
+// keyed by keys. Used for heavy-ish tailed size draws in the topology.
+func Exp(mean float64, keys ...string) float64 {
+	u := Prob(keys...)
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Zipf returns a stable Zipf-like draw in [1, max] with exponent s > 1,
+// keyed by keys, using inverse-CDF sampling of a truncated Pareto. The
+// Internet's per-AS size distributions are famously heavy-tailed; this is the
+// work-horse for AS sizes and alias-set sizes.
+func Zipf(s float64, max int, keys ...string) int {
+	if max < 1 {
+		return 1
+	}
+	u := Prob(keys...)
+	// Inverse CDF of P(X<=x) ∝ 1 - x^(1-s) on [1, max].
+	hi := math.Pow(float64(max), 1-s)
+	x := math.Pow(1-u*(1-hi), 1/(1-s))
+	k := int(x)
+	if k < 1 {
+		k = 1
+	}
+	if k > max {
+		k = max
+	}
+	return k
+}

@@ -1,0 +1,176 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(123)
+	b := NewSplitMix64(123)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+	c := NewSplitMix64(124)
+	same := 0
+	a = NewSplitMix64(123)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestSplitMix64Ranges(t *testing.T) {
+	s := NewSplitMix64(7)
+	for i := 0; i < 1000; i++ {
+		if v := s.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		if v := s.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %v", v)
+		}
+		if v := s.Int63(); v < 0 {
+			t.Fatalf("Int63 negative: %v", v)
+		}
+	}
+}
+
+func TestSplitMix64IntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewSplitMix64(1).Intn(0)
+}
+
+func TestStatelessIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0, key) did not panic")
+		}
+	}()
+	Intn(0, "k")
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := NewSplitMix64(99)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	a := NewSplitMix64(5).Fork("x")
+	b := NewSplitMix64(5).Fork("y")
+	if a.Uint64() == b.Uint64() {
+		t.Error("forks with different labels produced identical first values")
+	}
+}
+
+func TestHash64SeparatorMatters(t *testing.T) {
+	if Hash64("ab", "c") == Hash64("a", "bc") {
+		t.Error(`Hash64("ab","c") == Hash64("a","bc")`)
+	}
+	if Hash64("x") != Hash64("x") {
+		t.Error("Hash64 not deterministic")
+	}
+	if Hash64Bytes([]byte("abc")) == Hash64Bytes([]byte("abd")) {
+		t.Error("Hash64Bytes collision on near-identical input (suspicious)")
+	}
+}
+
+func TestProbRange(t *testing.T) {
+	err := quick.Check(func(k string) bool {
+		p := Prob(k)
+		return p >= 0 && p < 1
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	err := quick.Check(func(k string) bool {
+		v := Intn(17, k)
+		return v >= 0 && v < 17
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesDeterministicAndFull(t *testing.T) {
+	a := make([]byte, 37)
+	b := make([]byte, 37)
+	Bytes(a, "seed", "1")
+	Bytes(b, "seed", "1")
+	if string(a) != string(b) {
+		t.Error("Bytes not deterministic")
+	}
+	Bytes(b, "seed", "2")
+	if string(a) == string(b) {
+		t.Error("Bytes identical for different keys")
+	}
+	zero := 0
+	for _, c := range a {
+		if c == 0 {
+			zero++
+		}
+	}
+	if zero == len(a) {
+		t.Error("Bytes produced all zeros")
+	}
+}
+
+func TestExpMeanApproximate(t *testing.T) {
+	var sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		sum += Exp(10, "exp-test", string(rune(i)), string(rune(i/128)))
+	}
+	mean := sum / n
+	if mean < 8 || mean > 12 {
+		t.Errorf("Exp(10) sample mean = %.2f, want ~10", mean)
+	}
+}
+
+func TestZipfBoundsAndSkew(t *testing.T) {
+	const max = 1000
+	counts := map[int]int{}
+	small := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := Zipf(1.5, max, "zipf", string(rune(i)), string(rune(i/500)))
+		if v < 1 || v > max {
+			t.Fatalf("Zipf out of bounds: %d", v)
+		}
+		counts[v]++
+		if v <= 3 {
+			small++
+		}
+	}
+	// A Zipf(1.5) draw should be heavily concentrated on small values.
+	if float64(small)/n < 0.5 {
+		t.Errorf("Zipf not skewed: only %.1f%% of draws <= 3", 100*float64(small)/n)
+	}
+	if Zipf(1.5, 0, "k") != 1 {
+		t.Error("Zipf with max<1 should clamp to 1")
+	}
+}

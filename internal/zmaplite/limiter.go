@@ -1,0 +1,83 @@
+package zmaplite
+
+import (
+	"sync"
+	"time"
+
+	"aliaslimit/internal/netsim"
+)
+
+// Limiter is a token-bucket packet-rate limiter. It cooperates with the
+// simulation clock: when the underlying clock is a *netsim.SimClock, waiting
+// for tokens advances simulated time instead of sleeping, so a rate-limited
+// scan of N targets "takes" N/rate simulated seconds — which is how the
+// experiments account for multi-day measurement campaigns without multi-day
+// test runs.
+type Limiter struct {
+	mu     sync.Mutex
+	clock  netsim.Clock
+	rate   float64 // tokens per second; <= 0 means unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter builds a limiter producing rate tokens/second with the given
+// burst. rate <= 0 disables limiting entirely.
+func NewLimiter(clock netsim.Clock, rate float64, burst int) *Limiter {
+	if clock == nil {
+		clock = netsim.RealClock{}
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{
+		clock:  clock,
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		last:   clock.Now(),
+	}
+}
+
+// Acquire blocks (or advances simulated time) until one token is available,
+// then consumes it.
+func (l *Limiter) Acquire() {
+	if l.rate <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.clock.Now()
+	l.refill(now)
+	if l.tokens >= 1 {
+		l.tokens--
+		return
+	}
+	need := (1 - l.tokens) / l.rate
+	wait := time.Duration(need * float64(time.Second))
+	if sc, ok := l.clock.(*netsim.SimClock); ok {
+		sc.Advance(wait)
+	} else {
+		time.Sleep(wait)
+	}
+	l.refill(l.clock.Now())
+	if l.tokens >= 1 {
+		l.tokens--
+	} else {
+		// Clock did not advance (e.g. a frozen test clock); fail open
+		// rather than deadlock the scan.
+		l.tokens = 0
+	}
+}
+
+// refill adds tokens for the elapsed time. Callers hold l.mu.
+func (l *Limiter) refill(now time.Time) {
+	if now.After(l.last) {
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+		l.last = now
+	}
+}

@@ -1,0 +1,110 @@
+package zmaplite
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"aliaslimit/internal/netsim"
+)
+
+// Prober is the transport a SYN scan needs. netsim.Vantage implements it; a
+// raw-socket prober would on a real network.
+type Prober interface {
+	SynProbe(addr netip.Addr, port uint16) netsim.ProbeStatus
+}
+
+// Config parameterises one sweep.
+type Config struct {
+	// Targets is the address population to probe.
+	Targets []netip.Addr
+	// Port is the TCP port to probe (one port per sweep, as ZMap runs).
+	Port uint16
+	// Rate is the probe rate in packets/second; 0 means unlimited.
+	Rate float64
+	// Seed drives the scan-order permutation.
+	Seed uint64
+	// Workers is the number of concurrent probe workers; 0 picks 64.
+	Workers int
+	// Clock is used for rate limiting; nil means the real clock.
+	Clock netsim.Clock
+}
+
+// Result is the outcome of one sweep.
+type Result struct {
+	// Port is the probed TCP port.
+	Port uint16
+	// Open lists the addresses that answered SYN-ACK, sorted.
+	Open []netip.Addr
+	// Closed counts RST answers; Filtered counts silent drops.
+	Closed, Filtered int
+}
+
+// Total returns the number of probes sent.
+func (r *Result) Total() int { return len(r.Open) + r.Closed + r.Filtered }
+
+// Scan sweeps cfg.Targets on cfg.Port in permuted order and classifies every
+// answer. It is the phase-1 liveness scan: its Open list becomes the phase-2
+// service-scan target list.
+func Scan(p Prober, cfg Config) (*Result, error) {
+	if len(cfg.Targets) == 0 {
+		return &Result{Port: cfg.Port}, nil
+	}
+	if cfg.Port == 0 {
+		return nil, fmt.Errorf("zmaplite: port must be set")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 64
+	}
+	perm, err := NewPermutation(uint64(len(cfg.Targets)), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	limiter := NewLimiter(cfg.Clock, cfg.Rate, 64)
+
+	// The permutation is inherently sequential; a single feeder goroutine
+	// walks it and workers consume indices.
+	idxCh := make(chan uint64, workers*2)
+	go func() {
+		defer close(idxCh)
+		for {
+			i, ok := perm.Next()
+			if !ok {
+				return
+			}
+			idxCh <- i
+		}
+	}()
+
+	var (
+		mu  sync.Mutex
+		res = Result{Port: cfg.Port}
+		wg  sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				limiter.Acquire()
+				addr := cfg.Targets[i]
+				status := p.SynProbe(addr, cfg.Port)
+				mu.Lock()
+				switch status {
+				case netsim.StatusOpen:
+					res.Open = append(res.Open, addr)
+				case netsim.StatusClosed:
+					res.Closed++
+				default:
+					res.Filtered++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	sort.Slice(res.Open, func(i, j int) bool { return res.Open[i].Less(res.Open[j]) })
+	return &res, nil
+}
