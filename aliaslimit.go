@@ -71,6 +71,10 @@ type Options struct {
 	Scale float64
 	// Workers bounds scan concurrency; 0 picks 256.
 	Workers int
+	// Parallelism bounds how many per-protocol sweeps run concurrently
+	// during collection; 0 overlaps all protocols, 1 recovers the
+	// sequential baseline. Results are byte-identical at any setting.
+	Parallelism int
 	// ChurnFraction is the share of dynamic addresses reassigned between
 	// the Censys snapshot and the active scan; 0 picks 2%, negative
 	// disables churn.
@@ -95,8 +99,12 @@ func Run(opts Options) (*Study, error) {
 		cfg.Scale = 0.25
 	}
 	env, err := experiments.BuildEnv(experiments.Options{
-		Topo:          cfg,
-		Scan:          experiments.ScanOptions{Workers: opts.Workers, Seed: cfg.Seed},
+		Topo: cfg,
+		Scan: experiments.ScanOptions{
+			Workers:     opts.Workers,
+			Seed:        cfg.Seed,
+			Parallelism: opts.Parallelism,
+		},
 		ChurnFraction: opts.ChurnFraction,
 	})
 	if err != nil {

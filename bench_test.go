@@ -155,6 +155,41 @@ func BenchmarkFigure6(b *testing.B) {
 
 // --- pipeline stage benchmarks ---
 
+// BenchmarkCollectActive compares the sequential collection baseline
+// (Parallelism=1: one protocol sweep at a time) against the fully pipelined
+// collector (all three protocol sweeps concurrent, SYN results streaming into
+// the service-scan pools). On a multi-core machine the pipelined variant is
+// the wall-clock win the ISSUE demands; both produce byte-identical Datasets
+// (TestCollectActiveDeterministic asserts this under -race).
+func BenchmarkCollectActive(b *testing.B) {
+	cfg := topo.Default()
+	cfg.Scale = 0.25
+	cfg.Seed = 7
+	w, err := topo.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		opts experiments.ScanOptions
+	}{
+		{"sequential", experiments.ScanOptions{Workers: 128, Parallelism: 1}},
+		{"pipelined", experiments.ScanOptions{Workers: 128}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var obs int
+			for i := 0; i < b.N; i++ {
+				ds, err := experiments.CollectActive(w, bc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				obs = len(ds.Obs[ident.SSH]) + len(ds.Obs[ident.BGP]) + len(ds.Obs[ident.SNMP])
+			}
+			b.ReportMetric(float64(obs), "observations")
+		})
+	}
+}
+
 // BenchmarkScanSSH measures the full two-phase SSH measurement (SYN sweep +
 // application-layer handshakes) over the IPv4 universe.
 func BenchmarkScanSSH(b *testing.B) {

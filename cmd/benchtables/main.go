@@ -10,57 +10,83 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"aliaslimit"
 )
 
-func main() {
-	scale := flag.Float64("scale", 0.25, "world scale (1.0 ≈ 1:1000 of the paper's Internet)")
-	seed := flag.Uint64("seed", 1, "world seed")
-	workers := flag.Int("workers", 256, "scan concurrency")
-	table := flag.String("table", "", "regenerate a single table (1-6)")
-	figure := flag.String("figure", "", "regenerate a single figure (3-6)")
-	extensions := flag.Bool("extensions", false, "also run the future-work extension experiments")
-	flag.Parse()
+// errBadFlags marks argument errors the flag package has already reported;
+// main maps it to the conventional usage exit code 2.
+var errBadFlags = errors.New("bad arguments")
 
-	start := time.Now()
-	study, err := aliaslimit.Run(aliaslimit.Options{
-		Seed: *seed, Scale: *scale, Workers: *workers,
-	})
-	if err != nil {
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		// -h/-help: usage was printed; asking for help is not a failure.
+	case errors.Is(err, errBadFlags):
+		os.Exit(2)
+	default:
 		fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "world built and measured in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Float64("scale", 0.25, "world scale (1.0 ≈ 1:1000 of the paper's Internet)")
+	seed := fs.Uint64("seed", 1, "world seed")
+	workers := fs.Int("workers", 256, "scan concurrency")
+	parallelism := fs.Int("parallelism", 0, "concurrent protocol sweeps (0 = all at once, 1 = sequential)")
+	table := fs.String("table", "", "regenerate a single table (1-6)")
+	figure := fs.String("figure", "", "regenerate a single figure (3-6)")
+	extensions := fs.Bool("extensions", false, "also run the future-work extension experiments")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errBadFlags
+	}
+
+	start := time.Now()
+	study, err := aliaslimit.Run(aliaslimit.Options{
+		Seed: *seed, Scale: *scale, Workers: *workers, Parallelism: *parallelism,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "world built and measured in %v\n", time.Since(start).Round(time.Millisecond))
 
 	switch {
 	case *table != "":
 		out, err := study.RenderTable(*table)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Print(out)
+		fmt.Fprint(stdout, out)
 	case *figure != "":
 		out, err := study.RenderFigure(*figure)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Print(out)
+		fmt.Fprint(stdout, out)
 	default:
-		fmt.Print(study.RenderAll())
+		fmt.Fprint(stdout, study.RenderAll())
 		if *extensions {
 			out, err := study.RenderExtensions()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "benchtables: extensions: %v\n", err)
-				os.Exit(1)
+				return fmt.Errorf("extensions: %w", err)
 			}
-			fmt.Print(out)
+			fmt.Fprint(stdout, out)
 		}
 	}
+	return nil
 }

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestRunSingleTable regenerates one table at tiny scale and sanity-checks
+// the rendering.
+func TestRunSingleTable(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-scale", "0.05", "-seed", "2", "-workers", "16", "-table", "1"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Table 1") {
+		t.Fatalf("missing table header:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "world built and measured") {
+		t.Fatalf("missing build summary on stderr: %s", stderr.String())
+	}
+}
+
+// TestRunUnknownTable checks render errors surface as errors and -h as a
+// clean help request.
+func TestRunUnknownTable(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-scale", "0.05", "-table", "99"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if err := run([]string{"-h"}, &stdout, &stderr); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h: want flag.ErrHelp, got %v", err)
+	}
+}

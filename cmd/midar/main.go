@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -22,22 +24,48 @@ import (
 	"aliaslimit/internal/topo"
 )
 
+// errBadFlags marks argument errors the flag package has already reported;
+// main maps it to the conventional usage exit code 2.
+var errBadFlags = errors.New("bad arguments")
+
 func main() {
-	scale := flag.Float64("scale", 0.25, "world scale")
-	seed := flag.Uint64("seed", 1, "world seed")
-	sample := flag.Int("sample", 61, "number of candidate SSH sets to verify")
-	flag.Parse()
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		// -h/-help: usage was printed; asking for help is not a failure.
+	case errors.Is(err, errBadFlags):
+		os.Exit(2)
+	default:
+		fmt.Fprintf(os.Stderr, "midar: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("midar", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Float64("scale", 0.25, "world scale")
+	seed := fs.Uint64("seed", 1, "world seed")
+	sample := fs.Int("sample", 61, "number of candidate SSH sets to verify")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errBadFlags
+	}
 
 	cfg := topo.Default()
 	cfg.Seed = *seed
 	cfg.Scale = *scale
 	world, err := topo.Build(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	active, err := experiments.CollectActive(world, experiments.ScanOptions{Seed: *seed})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	sets := alias.NonSingleton(alias.FilterFamily(alias.Group(active.Obs[ident.SSH]), true))
@@ -53,35 +81,33 @@ func main() {
 	if len(candidates) > *sample {
 		candidates = candidates[:*sample]
 	}
-	fmt.Printf("verifying %d candidate SSH alias sets (of %d eligible)\n", len(candidates), len(sets))
+	fmt.Fprintf(stdout, "verifying %d candidate SSH alias sets (of %d eligible)\n", len(candidates), len(sets))
 
 	session := midar.NewSession(world.Fabric.Vantage(topo.VantageMIDAR), world.Clock, midar.Config{})
 
 	// Estimation-stage census across all candidate addresses.
-	var addrs []alias.Set
-	_ = addrs
 	classCount := map[midar.Class]int{}
 	for _, c := range candidates {
-		for a, cl := range session.ClassifyTargets(c.Addrs) {
-			_ = a
+		for _, cl := range session.ClassifyTargets(c.Addrs) {
 			classCount[cl]++
 		}
 	}
-	fmt.Println("IPID counter census over candidate addresses:")
+	fmt.Fprintln(stdout, "IPID counter census over candidate addresses:")
 	for _, cl := range []midar.Class{midar.ClassUsable, midar.ClassConstant, midar.ClassTooFast, midar.ClassUnresponsive} {
-		fmt.Printf("  %-13s %d\n", cl, classCount[cl])
+		fmt.Fprintf(stdout, "  %-13s %d\n", cl, classCount[cl])
 	}
 
 	results, tally := session.VerifySets(candidates)
-	fmt.Printf("verification: confirmed=%d split=%d unverifiable=%d (verifiable fraction %.0f%%)\n",
+	fmt.Fprintf(stdout, "verification: confirmed=%d split=%d unverifiable=%d (verifiable fraction %.0f%%)\n",
 		tally.Confirmed, tally.Split, tally.Unverifiable,
 		100*float64(tally.Verifiable())/float64(maxInt(len(candidates), 1)))
 	for _, r := range results {
 		if r.Outcome == midar.OutcomeSplit {
-			fmt.Printf("  split: %s -> %d groups\n", r.Candidate.Signature(), len(r.Partition))
+			fmt.Fprintf(stdout, "  split: %s -> %d groups\n", r.Candidate.Signature(), len(r.Partition))
 		}
 	}
-	fmt.Printf("simulated measurement time elapsed: %v\n", world.Clock.Now().Sub(topo.Origin))
+	fmt.Fprintf(stdout, "simulated measurement time elapsed: %v\n", world.Clock.Now().Sub(topo.Origin))
+	return nil
 }
 
 func maxInt(a, b int) int {
@@ -89,9 +115,4 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "midar: %v\n", err)
-	os.Exit(1)
 }

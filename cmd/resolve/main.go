@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"aliaslimit/internal/alias"
@@ -20,46 +22,72 @@ import (
 	"aliaslimit/internal/obsfile"
 )
 
+// errBadFlags marks argument errors the flag package (or run itself) has
+// already reported; main maps it to the conventional usage exit code 2.
+var errBadFlags = errors.New("bad arguments")
+
 func main() {
-	dumpSets := flag.Bool("sets", false, "dump every non-singleton alias set")
-	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: resolve [-sets] <observations.jsonl>...")
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		// -h/-help: usage was printed; asking for help is not a failure.
+	case errors.Is(err, errBadFlags):
 		os.Exit(2)
+	default:
+		fmt.Fprintf(os.Stderr, "resolve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("resolve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dumpSets := fs.Bool("sets", false, "dump every non-singleton alias set")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errBadFlags
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: resolve [-sets] <observations.jsonl>...")
+		return errBadFlags
 	}
 
 	r := core.NewResolver()
-	for _, path := range flag.Args() {
+	for _, path := range fs.Args() {
 		if err := load(r, path); err != nil {
-			fmt.Fprintf(os.Stderr, "resolve: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	}
 
 	sum := r.Summarize()
-	fmt.Printf("observations: SSH=%d BGP=%d SNMPv3=%d\n",
+	fmt.Fprintf(stdout, "observations: SSH=%d BGP=%d SNMPv3=%d\n",
 		sum.ObsPerProtocol["SSH"], sum.ObsPerProtocol["BGP"], sum.ObsPerProtocol["SNMPv3"])
 	for _, p := range ident.Protocols {
 		v4 := r.NonSingletonAliasSets(p, true)
 		v6 := r.NonSingletonAliasSets(p, false)
-		fmt.Printf("%-7s alias sets: IPv4 %d (covering %d addrs), IPv6 %d (covering %d addrs)\n",
+		fmt.Fprintf(stdout, "%-7s alias sets: IPv4 %d (covering %d addrs), IPv6 %d (covering %d addrs)\n",
 			p, len(v4), alias.CoveredAddrs(v4), len(v6), alias.CoveredAddrs(v6))
 	}
 	unionV4 := r.UnionAliasSets(true)
 	unionV6 := r.UnionAliasSets(false)
 	ds := r.DualStackSets()
-	fmt.Printf("union   alias sets: IPv4 %d (covering %d addrs), IPv6 %d (covering %d addrs)\n",
+	fmt.Fprintf(stdout, "union   alias sets: IPv4 %d (covering %d addrs), IPv6 %d (covering %d addrs)\n",
 		len(unionV4), alias.CoveredAddrs(unionV4), len(unionV6), alias.CoveredAddrs(unionV6))
-	fmt.Printf("dual-stack sets: %d\n", len(ds))
+	fmt.Fprintf(stdout, "dual-stack sets: %d\n", len(ds))
 
 	if *dumpSets {
 		for _, s := range unionV4 {
-			fmt.Printf("set %s\n", s.Signature())
+			fmt.Fprintf(stdout, "set %s\n", s.Signature())
 		}
 		for _, s := range unionV6 {
-			fmt.Printf("set %s\n", s.Signature())
+			fmt.Fprintf(stdout, "set %s\n", s.Signature())
 		}
 	}
+	return nil
 }
 
 // load streams one JSONL file into the resolver.

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aliaslimit/internal/alias"
+	"aliaslimit/internal/ident"
+	"aliaslimit/internal/obsfile"
+)
+
+// writeObsFile writes a small observation file with one two-address SSH
+// alias pair and returns its path.
+func writeObsFile(t *testing.T) string {
+	t.Helper()
+	id := ident.Identifier{Proto: ident.SSH, Digest: "feedface"}
+	obs := []alias.Observation{
+		{Addr: netip.MustParseAddr("192.0.2.1"), ID: id},
+		{Addr: netip.MustParseAddr("192.0.2.2"), ID: id},
+	}
+	var buf bytes.Buffer
+	if err := obsfile.Write(&buf, obs); err != nil {
+		t.Fatalf("writing observations: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "obs.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatalf("writing %s: %v", path, err)
+	}
+	return path
+}
+
+// TestRunResolve feeds a hand-built observation file through the resolver CLI
+// and checks the inferred alias set shows up in the report.
+func TestRunResolve(t *testing.T) {
+	path := writeObsFile(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-sets", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "observations: SSH=2") {
+		t.Fatalf("missing observation summary:\n%s", out)
+	}
+	if !strings.Contains(out, "set ") {
+		t.Fatalf("-sets produced no set dump:\n%s", out)
+	}
+}
+
+// TestRunResolveErrors covers the no-arguments and missing-file error paths:
+// the former is a usage error (exit 2 via errBadFlags), the latter a runtime
+// failure.
+func TestRunResolveErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr); !errors.Is(err, errBadFlags) {
+		t.Fatalf("no arguments: want errBadFlags, got %v", err)
+	}
+	if !strings.Contains(stderr.String(), "usage:") {
+		t.Fatalf("usage line missing from stderr: %s", stderr.String())
+	}
+	err := run([]string{"/nonexistent/obs.jsonl"}, &stdout, &stderr)
+	if err == nil || errors.Is(err, errBadFlags) {
+		t.Fatalf("missing input file: want a runtime error, got %v", err)
+	}
+	if err := run([]string{"-h"}, &stdout, &stderr); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h: want flag.ErrHelp, got %v", err)
+	}
+}

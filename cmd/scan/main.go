@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -23,12 +25,39 @@ import (
 	"aliaslimit/internal/topo"
 )
 
+// errBadFlags marks argument errors the flag package (or run itself) has
+// already reported; main maps it to the conventional usage exit code 2.
+var errBadFlags = errors.New("bad arguments")
+
 func main() {
-	scale := flag.Float64("scale", 0.25, "world scale (1.0 ≈ 1:1000 of the paper's Internet)")
-	seed := flag.Uint64("seed", 1, "world seed")
-	vantage := flag.String("vantage", "active", "vantage point: active or censys")
-	workers := flag.Int("workers", 256, "scan concurrency")
-	flag.Parse()
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		// -h/-help: usage was printed; asking for help is not a failure.
+	case errors.Is(err, errBadFlags):
+		os.Exit(2)
+	default:
+		fmt.Fprintf(os.Stderr, "scan: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command: flags in, JSONL out.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("scan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Float64("scale", 0.25, "world scale (1.0 ≈ 1:1000 of the paper's Internet)")
+	seed := fs.Uint64("seed", 1, "world seed")
+	vantage := fs.String("vantage", "active", "vantage point: active or censys")
+	workers := fs.Int("workers", 256, "scan concurrency")
+	parallelism := fs.Int("parallelism", 0, "concurrent protocol sweeps (0 = all at once, 1 = sequential)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errBadFlags
+	}
 
 	cfg := topo.Default()
 	cfg.Seed = *seed
@@ -37,13 +66,13 @@ func main() {
 	start := time.Now()
 	world, err := topo.Build(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "world: %d devices, %d IPv4 targets, %d IPv6 bound (built in %v)\n",
+	fmt.Fprintf(stderr, "world: %d devices, %d IPv4 targets, %d IPv6 bound (built in %v)\n",
 		world.Fabric.NumDevices(), len(world.V4Universe()), len(world.V6Bound()),
 		time.Since(start).Round(time.Millisecond))
 
-	opts := experiments.ScanOptions{Workers: *workers, Seed: *seed}
+	opts := experiments.ScanOptions{Workers: *workers, Seed: *seed, Parallelism: *parallelism}
 	var ds *experiments.Dataset
 	switch *vantage {
 	case "active":
@@ -51,23 +80,19 @@ func main() {
 	case "censys":
 		ds, err = experiments.CollectCensys(world, opts)
 	default:
-		fatal(fmt.Errorf("unknown vantage %q (want active or censys)", *vantage))
+		return fmt.Errorf("unknown vantage %q (want active or censys)", *vantage)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	var all []alias.Observation
 	for _, p := range ident.Protocols {
 		all = append(all, ds.Obs[p]...)
 	}
-	if err := obsfile.Write(os.Stdout, all); err != nil {
-		fatal(err)
+	if err := obsfile.Write(stdout, all); err != nil {
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "emitted %d observations from vantage %q\n", len(all), *vantage)
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "scan: %v\n", err)
-	os.Exit(1)
+	fmt.Fprintf(stderr, "emitted %d observations from vantage %q\n", len(all), *vantage)
+	return nil
 }

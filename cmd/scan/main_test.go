@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+
+	"aliaslimit/internal/obsfile"
+)
+
+// TestRunTinyScan exercises flag parsing and a tiny end-to-end collection for
+// both vantage points, checking the emitted JSONL parses back.
+func TestRunTinyScan(t *testing.T) {
+	for _, vantage := range []string{"active", "censys"} {
+		vantage := vantage
+		t.Run(vantage, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run([]string{"-scale", "0.05", "-seed", "2", "-workers", "16", "-vantage", vantage},
+				&stdout, &stderr)
+			if err != nil {
+				t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+			}
+			obs, err := obsfile.Read(bytes.NewReader(stdout.Bytes()))
+			if err != nil {
+				t.Fatalf("re-reading emitted JSONL: %v", err)
+			}
+			if len(obs) == 0 {
+				t.Fatal("scan emitted no observations")
+			}
+			if !strings.Contains(stderr.String(), "emitted") {
+				t.Fatalf("missing summary on stderr: %s", stderr.String())
+			}
+		})
+	}
+}
+
+// TestRunBadFlags covers the error paths: unknown vantage and unparseable
+// flags must surface as errors, not os.Exit.
+func TestRunBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-vantage", "nowhere", "-scale", "0.05"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown vantage accepted")
+	}
+	if err := run([]string{"-scale", "not-a-number"}, &stdout, &stderr); !errors.Is(err, errBadFlags) {
+		t.Fatalf("bad -scale: want errBadFlags, got %v", err)
+	}
+}
+
+// TestRunHelp checks -h surfaces as flag.ErrHelp (a clean exit, not a
+// failure) with the usage text on stderr.
+func TestRunHelp(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-h"}, &stdout, &stderr); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h: want flag.ErrHelp, got %v", err)
+	}
+	if !strings.Contains(stderr.String(), "-vantage") {
+		t.Fatalf("usage text missing from stderr: %s", stderr.String())
+	}
+}

@@ -1,0 +1,3 @@
+module aliaslimit
+
+go 1.22

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
+	"time"
 
 	"aliaslimit/internal/alias"
 	"aliaslimit/internal/bgp"
@@ -23,7 +24,23 @@ type ScanOptions struct {
 	Workers int
 	// Seed drives scan-order permutations.
 	Seed uint64
+	// Parallelism bounds how many per-protocol sweeps (SSH, BGP, SNMPv3) run
+	// concurrently within one collection. 0 runs all protocols at once; 1
+	// recovers the sequential baseline. Datasets are byte-identical at any
+	// setting: every sweep collects into its own shard and the shards merge
+	// in fixed protocol order.
+	Parallelism int
 }
+
+// simGrabTimeout bounds one service grab against the simulated fabric. The
+// paper's real-Internet methodology uses short waits (2 s for the passive BGP
+// collection), but in the simulation no peer ever legitimately makes the
+// scanner wait: every handler either writes or closes. The timeout is purely
+// an anti-hang backstop, so it sits far above any plausible goroutine
+// starvation — with three protocol sweeps and hundreds of workers sharing few
+// cores (worse under -race), a short wall-clock deadline can drop a
+// legitimately answered grab and silently break Dataset determinism.
+const simGrabTimeout = 2 * time.Minute
 
 // withDefaults fills unset fields.
 func (o ScanOptions) withDefaults() ScanOptions {
@@ -33,6 +50,7 @@ func (o ScanOptions) withDefaults() ScanOptions {
 	if o.Seed == 0 {
 		o.Seed = 42
 	}
+	// Parallelism 0 stays 0 (unbounded): every protocol sweep overlaps.
 	return o
 }
 
@@ -40,21 +58,43 @@ func (o ScanOptions) withDefaults() ScanOptions {
 // vantage point: ZMap-style SYN sweeps on 22 and 179 over the IPv4 universe
 // and the IPv6 hitlist, ZGrab-style service scans of the responsive
 // addresses, and an SNMPv3 engine-discovery sweep.
+//
+// The three protocol sweeps run concurrently (bounded by opts.Parallelism),
+// and within the SSH and BGP sweeps the SYN phase streams responsive
+// addresses straight into the service-scan worker pools — banner grabs start
+// while the sweep is still in flight. The world is only read: see the
+// concurrency contract on topo.World.
 func CollectActive(w *topo.World, opts ScanOptions) (*Dataset, error) {
 	opts = opts.withDefaults()
 	v := w.Fabric.Vantage(topo.VantageActive)
-	ds := NewDataset("Active")
 
 	v6targets := hitlist.Sample(w.V6Bound(), w.Cfg.HitlistCoverage, w.Cfg.Seed)
 	targets := append(append([]netip.Addr(nil), w.V4Universe()...), v6targets...)
 
-	if err := scanSSH(v, targets, opts, ds); err != nil {
+	var sshObs, bgpObs, snmpObs []alias.Observation
+	g := newGroup(opts.Parallelism)
+	g.Go(func() (err error) {
+		sshObs, err = scanSSH(v, targets, opts)
+		return err
+	})
+	g.Go(func() (err error) {
+		bgpObs, err = scanBGP(v, targets, opts)
+		return err
+	})
+	g.Go(func() error {
+		snmpObs = scanSNMP(v, targets, opts)
+		return nil
+	})
+	if err := g.Wait(); err != nil {
 		return nil, err
 	}
-	if err := scanBGP(v, targets, opts, ds); err != nil {
-		return nil, err
-	}
-	scanSNMP(v, targets, opts, ds)
+
+	// Deterministic merge order: fixed protocol sequence, each shard already
+	// in sorted target order.
+	ds := NewDataset("Active")
+	ds.AddAll(ident.SSH, sshObs)
+	ds.AddAll(ident.BGP, bgpObs)
+	ds.AddAll(ident.SNMP, snmpObs)
 	return ds, nil
 }
 
@@ -66,13 +106,24 @@ func CollectActive(w *topo.World, opts ScanOptions) (*Dataset, error) {
 func CollectCensys(w *topo.World, opts ScanOptions) (*Dataset, error) {
 	opts = opts.withDefaults()
 	v := w.Fabric.Vantage(topo.VantageCensys)
+
+	var sshObs, bgpObs []alias.Observation
+	g := newGroup(opts.Parallelism)
+	g.Go(func() (err error) {
+		sshObs, err = scanSSH(v, w.V4Universe(), opts)
+		return err
+	})
+	g.Go(func() (err error) {
+		bgpObs, err = scanBGP(v, w.V4Universe(), opts)
+		return err
+	})
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+
 	ds := NewDataset("Censys")
-	if err := scanSSH(v, w.V4Universe(), opts, ds); err != nil {
-		return nil, err
-	}
-	if err := scanBGP(v, w.V4Universe(), opts, ds); err != nil {
-		return nil, err
-	}
+	ds.AddAll(ident.SSH, sshObs)
+	ds.AddAll(ident.BGP, bgpObs)
 	// The paper: Censys finds an additional 5.6M SSH IPs on 60,806
 	// non-standard ports (~23% of its port-22 population) — found, counted,
 	// and excluded.
@@ -80,76 +131,90 @@ func CollectCensys(w *topo.World, opts ScanOptions) (*Dataset, error) {
 	return ds, nil
 }
 
-// scanSSH runs the two-phase SSH scan and extracts identifiers.
-func scanSSH(v *netsim.Vantage, targets []netip.Addr, opts ScanOptions, ds *Dataset) error {
-	sweep, err := zmaplite.Scan(v, zmaplite.Config{
+// scanSSH runs the two-phase SSH scan and extracts identifiers. The SYN sweep
+// streams into the banner grabs; the returned observations are in sorted
+// target order.
+func scanSSH(v *netsim.Vantage, targets []netip.Addr, opts ScanOptions) ([]alias.Observation, error) {
+	open, done, err := zmaplite.ScanStream(v, zmaplite.Config{
 		Targets: targets, Port: 22, Seed: opts.Seed, Workers: opts.Workers,
 	})
 	if err != nil {
-		return fmt.Errorf("experiments: ssh sweep: %w", err)
+		return nil, fmt.Errorf("experiments: ssh sweep: %w", err)
 	}
-	grabs := zgrab.Run(v, sweep.Open, &zgrab.SSHModule{}, zgrab.Options{Workers: opts.Workers})
+	grabs := zgrab.RunStream(v, open, &zgrab.SSHModule{Timeout: simGrabTimeout},
+		zgrab.Options{Workers: opts.Workers, DialTimeout: simGrabTimeout})
+	<-done
+	var obs []alias.Observation
 	for _, g := range zgrab.Successes(grabs) {
 		res := g.Data.(*sshwire.ScanResult)
 		if id, ok := ident.FromSSH(res); ok {
-			ds.Add(ident.SSH, alias.Observation{Addr: g.Target, ID: id})
+			obs = append(obs, alias.Observation{Addr: g.Target, ID: id})
 		}
 	}
-	return nil
+	return obs, nil
 }
 
-// scanBGP runs the two-phase passive BGP scan and extracts identifiers.
-func scanBGP(v *netsim.Vantage, targets []netip.Addr, opts ScanOptions, ds *Dataset) error {
-	sweep, err := zmaplite.Scan(v, zmaplite.Config{
+// scanBGP runs the two-phase passive BGP scan and extracts identifiers,
+// streaming the sweep into the OPEN collection like scanSSH.
+func scanBGP(v *netsim.Vantage, targets []netip.Addr, opts ScanOptions) ([]alias.Observation, error) {
+	open, done, err := zmaplite.ScanStream(v, zmaplite.Config{
 		Targets: targets, Port: 179, Seed: opts.Seed + 1, Workers: opts.Workers,
 	})
 	if err != nil {
-		return fmt.Errorf("experiments: bgp sweep: %w", err)
+		return nil, fmt.Errorf("experiments: bgp sweep: %w", err)
 	}
-	grabs := zgrab.Run(v, sweep.Open, &zgrab.BGPModule{}, zgrab.Options{Workers: opts.Workers})
+	grabs := zgrab.RunStream(v, open, &zgrab.BGPModule{Timeout: simGrabTimeout},
+		zgrab.Options{Workers: opts.Workers, DialTimeout: simGrabTimeout})
+	<-done
+	var obs []alias.Observation
 	for _, g := range zgrab.Successes(grabs) {
 		res := g.Data.(*bgp.ScanResult)
 		if id, ok := ident.FromBGP(res); ok {
-			ds.Add(ident.BGP, alias.Observation{Addr: g.Target, ID: id})
+			obs = append(obs, alias.Observation{Addr: g.Target, ID: id})
 		}
 	}
-	return nil
+	return obs, nil
 }
 
 // scanSNMP sweeps targets with engine-discovery probes (UDP; no SYN phase).
-func scanSNMP(v *netsim.Vantage, targets []netip.Addr, opts ScanOptions, ds *Dataset) {
-	type hit struct {
-		addr netip.Addr
-		id   ident.Identifier
+// Workers fill a per-target result table indexed by target position, so the
+// returned observations are in target order no matter how the probes
+// interleave — the arrival-order nondeterminism of the previous
+// channel-funnel implementation is gone.
+func scanSNMP(v *netsim.Vantage, targets []netip.Addr, opts ScanOptions) []alias.Observation {
+	type slot struct {
+		id ident.Identifier
+		ok bool
 	}
-	hits := make(chan hit, opts.Workers)
-	var wg sync.WaitGroup
+	slots := make([]slot, len(targets))
 	idx := make(chan int, opts.Workers)
+	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				addr := targets[i]
-				res, ok, err := snmpv3.Discover(v, addr, int64(i), int64(i)+1)
+				res, ok, err := snmpv3.Discover(v, targets[i], int64(i), int64(i)+1)
 				if !ok || err != nil {
 					continue
 				}
 				if id, idOK := ident.FromSNMPEngineID(res.EngineID); idOK {
-					hits <- hit{addr: addr, id: id}
+					slots[i] = slot{id: id, ok: true}
 				}
 			}
 		}()
 	}
-	go func() {
-		for i := range targets {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
-		close(hits)
-	}()
-	for h := range hits {
-		ds.Add(ident.SNMP, alias.Observation{Addr: h.addr, ID: h.id})
+	for i := range targets {
+		idx <- i
 	}
+	close(idx)
+	wg.Wait()
+
+	var obs []alias.Observation
+	for i, s := range slots {
+		if s.ok {
+			obs = append(obs, alias.Observation{Addr: targets[i], ID: s.id})
+		}
+	}
+	return obs
 }

@@ -35,6 +35,17 @@ func (d *Dataset) Add(p ident.Protocol, o alias.Observation) {
 	d.Obs[p] = append(d.Obs[p], o)
 }
 
+// AddAll appends a batch of observations, preserving order. Collection
+// shards built concurrently merge through AddAll in a fixed protocol
+// sequence, which is what keeps Datasets byte-identical across Parallelism
+// and Workers settings.
+func (d *Dataset) AddAll(p ident.Protocol, obs []alias.Observation) {
+	if len(obs) == 0 {
+		return
+	}
+	d.Obs[p] = append(d.Obs[p], obs...)
+}
+
 // Addrs returns the distinct responsive addresses for a protocol, optionally
 // filtered to one family (v4=true/false; pass nil for both), sorted.
 func (d *Dataset) Addrs(p ident.Protocol, v4 *bool) []netip.Addr {

@@ -50,9 +50,11 @@ func MultiVantage(w *topo.World, maxVantages int, opts ScanOptions) ([]VantageCo
 	for k := 0; k < maxVantages; k++ {
 		v := w.Fabric.Vantage(topo.AuxVantage(k))
 		ds := NewDataset(topo.AuxVantage(k))
-		if err := scanSSH(v, w.V4Universe(), opts, ds); err != nil {
+		obs, err := scanSSH(v, w.V4Universe(), opts)
+		if err != nil {
 			return nil, fmt.Errorf("experiments: vantage %d: %w", k, err)
 		}
+		ds.AddAll(ident.SSH, obs)
 		newIPs := 0
 		for _, o := range ds.Obs[ident.SSH] {
 			if !seen[o.Addr] {
@@ -120,15 +122,19 @@ func Stability(w *topo.World, gap time.Duration, churnFrac float64, opts ScanOpt
 	v := w.Fabric.Vantage(topo.VantageActive)
 
 	first := NewDataset("t0")
-	if err := scanSSH(v, w.V4Universe(), opts, first); err != nil {
+	obs0, err := scanSSH(v, w.V4Universe(), opts)
+	if err != nil {
 		return nil, err
 	}
+	first.AddAll(ident.SSH, obs0)
 	w.Clock.Advance(gap)
 	w.ApplyChurn(churnFrac, 7001)
 	second := NewDataset("t1")
-	if err := scanSSH(v, w.V4Universe(), opts, second); err != nil {
+	obs1, err := scanSSH(v, w.V4Universe(), opts)
+	if err != nil {
 		return nil, err
 	}
+	second.AddAll(ident.SSH, obs1)
 
 	firstID := make(map[netip.Addr]string)
 	for _, o := range first.Obs[ident.SSH] {

@@ -1,0 +1,55 @@
+package experiments
+
+import "sync"
+
+// group is a minimal errgroup: it runs functions on goroutines under a
+// concurrency limit and keeps the first error. The repository carries no
+// external dependencies, so the x/sync variant is reimplemented here in the
+// ~30 lines it actually needs.
+type group struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// newGroup returns a group running at most limit functions at once; limit <=
+// 0 means unbounded.
+func newGroup(limit int) *group {
+	g := &group{}
+	if limit > 0 {
+		g.sem = make(chan struct{}, limit)
+	}
+	return g
+}
+
+// Go schedules fn. The first non-nil error wins; later errors are dropped
+// (every fn still runs to completion so that Wait returns with no goroutines
+// left behind).
+func (g *group) Go(fn func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if g.sem != nil {
+			g.sem <- struct{}{}
+			defer func() { <-g.sem }()
+		}
+		if err := fn(); err != nil {
+			g.mu.Lock()
+			if g.err == nil {
+				g.err = err
+			}
+			g.mu.Unlock()
+		}
+	}()
+}
+
+// Wait blocks until every scheduled function has returned and reports the
+// first error.
+func (g *group) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}

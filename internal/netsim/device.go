@@ -114,6 +114,14 @@ type DeviceConfig struct {
 
 // Device is one simulated network element with one or more addressed
 // interfaces and zero or more TCP services.
+//
+// Concurrency contract: identity, addresses, and probe-behaviour flags are
+// immutable after NewDevice; the probe/dial/sample paths used by concurrent
+// scans are safe without external locking (service tables are RWMutex-
+// guarded, IPID state is mutex-guarded). Topology mutation — SetService,
+// RemoveService, SetUDPService, and fabric Bind/Unbind — is safe in itself
+// but must not run concurrently with a measurement that expects a stable
+// world: churn between scans, never during one.
 type Device struct {
 	id       string
 	asn      uint32

@@ -187,6 +187,13 @@ func (f *Fabric) Vantage(label string) *Vantage {
 
 // Vantage is a labelled scanning viewpoint on a fabric. It satisfies the
 // Dialer interface used by the service scanners.
+//
+// Concurrency contract: a Vantage is immutable after creation and every
+// method is safe for concurrent use — the collection pipeline drives one
+// Vantage from hundreds of goroutines across several protocol sweeps at
+// once. Probe and dial paths only read fabric bindings (under the fabric's
+// RWMutex) and immutable device configuration; the sole mutable state they
+// touch is each device's lock-guarded IPID counter.
 type Vantage struct {
 	fabric *Fabric
 	label  string

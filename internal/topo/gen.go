@@ -17,6 +17,16 @@ import (
 	"aliaslimit/internal/xrand"
 )
 
+// simHandshakeTimeout bounds a simulated SSH server's handshake. A real
+// daemon's few-second deadline defends against stalled peers; on the fabric
+// every client drives the exchange promptly or closes, so the deadline is
+// purely an anti-hang backstop. It sits far above plausible goroutine
+// starvation: with the concurrent collection pipeline (three protocol sweeps
+// × hundreds of workers, worse under -race) the default 5 s can expire on a
+// starved but healthy handshake and nondeterministically lose an
+// observation.
+const simHandshakeTimeout = 2 * time.Minute
+
 // seedReader adapts a SplitMix64 stream to io.Reader so host keys are
 // deterministic functions of device identity.
 type seedReader struct{ s *xrand.SplitMix64 }
@@ -247,9 +257,10 @@ func (g *generator) sshServer(id string, router bool, addrs []netip.Addr) *sshwi
 		profile = g.pickProfile(router, id)
 	}
 	cfg := sshwire.ServerConfig{
-		Banner:     profile.Banner,
-		Algorithms: profile.Algorithms,
-		HostKey:    key,
+		Banner:           profile.Banner,
+		Algorithms:       profile.Algorithms,
+		HostKey:          key,
+		HandshakeTimeout: simHandshakeTimeout,
 	}
 	if len(addrs) >= 2 && g.prob(id, "iface-var") < g.cfg.PSSHPerIfaceVariation {
 		varied := profile.Algorithms.Clone()
@@ -290,9 +301,10 @@ func (g *generator) sshServerOverlap(id string) *sshwire.Server {
 		g.w.Truth.Fleets[personality.label] = append(g.w.Truth.Fleets[personality.label], id)
 	}
 	return sshwire.NewServer(sshwire.ServerConfig{
-		Banner:     personality.profile.Banner,
-		Algorithms: personality.profile.Algorithms,
-		HostKey:    personality.priv,
+		Banner:           personality.profile.Banner,
+		Algorithms:       personality.profile.Algorithms,
+		HostKey:          personality.priv,
+		HandshakeTimeout: simHandshakeTimeout,
 	})
 }
 

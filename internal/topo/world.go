@@ -56,6 +56,15 @@ type Truth struct {
 }
 
 // World is a generated synthetic Internet.
+//
+// Concurrency contract: after Build returns, the world is read-only safe —
+// concurrent protocol sweeps (experiments.CollectActive runs SSH, BGP, and
+// SNMPv3 at once) may probe the Fabric, dial services, read V4Universe /
+// V6Bound / AddrASN / PTR / Truth, and read the Clock from any number of
+// goroutines. The mutating methods — ApplyChurn, Clock.Advance/Set, and
+// bind — are themselves data-race free but change measurement semantics, so
+// the caller must order them strictly between scans, as BuildEnv does for
+// the Censys → churn → active chronology.
 type World struct {
 	// Cfg is the configuration the world was built from.
 	Cfg Config

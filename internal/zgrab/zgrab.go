@@ -64,8 +64,25 @@ type Options struct {
 }
 
 // Run scans every target with the module and returns one Grab per target, in
-// target order (sorted by address) for reproducible downstream processing.
+// target order (sorted by address) for reproducible downstream processing. It
+// is the batch form of RunStream.
 func Run(d Dialer, targets []netip.Addr, m Module, opts Options) []Grab {
+	ch := make(chan netip.Addr, len(targets))
+	for _, t := range targets {
+		ch <- t
+	}
+	close(ch)
+	return RunStream(d, ch, m, opts)
+}
+
+// RunStream scans targets as they arrive on the channel, so a phase-1 sweep
+// (zmaplite.ScanStream) can feed responsive addresses into banner grabs while
+// the sweep is still in flight. It returns once targets is closed and every
+// grab has completed. Each worker accumulates grabs in a private shard; the
+// shards merge and sort by target address at the end, so the returned slice
+// is byte-identical to Run over the same target set regardless of arrival
+// order or worker count.
+func RunStream(d Dialer, targets <-chan netip.Addr, m Module, opts Options) []Grab {
 	port := opts.Port
 	if port == 0 {
 		port = m.DefaultPort()
@@ -79,24 +96,23 @@ func Run(d Dialer, targets []netip.Addr, m Module, opts Options) []Grab {
 		dialTimeout = 3 * time.Second
 	}
 
-	grabs := make([]Grab, len(targets))
-	idx := make(chan int, workers)
+	shards := make([][]Grab, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(shard *[]Grab) {
 			defer wg.Done()
-			for i := range idx {
-				grabs[i] = scanOne(d, targets[i], port, m, dialTimeout)
+			for t := range targets {
+				*shard = append(*shard, scanOne(d, t, port, m, dialTimeout))
 			}
-		}()
+		}(&shards[w])
 	}
-	for i := range targets {
-		idx <- i
-	}
-	close(idx)
 	wg.Wait()
 
+	var grabs []Grab
+	for _, s := range shards {
+		grabs = append(grabs, s...)
+	}
 	sort.Slice(grabs, func(i, j int) bool { return grabs[i].Target.Less(grabs[j].Target) })
 	return grabs
 }

@@ -10,7 +10,8 @@ import (
 )
 
 // Prober is the transport a SYN scan needs. netsim.Vantage implements it; a
-// raw-socket prober would on a real network.
+// raw-socket prober would on a real network. Implementations must be safe for
+// concurrent use: a sweep probes from many goroutines at once.
 type Prober interface {
 	SynProbe(addr netip.Addr, port uint16) netsim.ProbeStatus
 }
@@ -44,15 +45,49 @@ type Result struct {
 // Total returns the number of probes sent.
 func (r *Result) Total() int { return len(r.Open) + r.Closed + r.Filtered }
 
+// shard is one worker's private tally. Workers never share result state, so
+// the per-probe hot path takes no locks; shards merge deterministically after
+// the sweep.
+type shard struct {
+	open             []netip.Addr
+	closed, filtered int
+}
+
 // Scan sweeps cfg.Targets on cfg.Port in permuted order and classifies every
 // answer. It is the phase-1 liveness scan: its Open list becomes the phase-2
-// service-scan target list.
+// service-scan target list. Scan is the barrier form of ScanStream: it
+// returns only once the whole sweep has finished.
 func Scan(p Prober, cfg Config) (*Result, error) {
+	open, done, err := ScanStream(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for range open {
+		// Drain: the final Result carries the sorted Open list.
+	}
+	return <-done, nil
+}
+
+// ScanStream starts the sweep and returns immediately. Every address that
+// answers SYN-ACK is emitted on open as soon as its answer arrives, so a
+// phase-2 service scanner can begin grabbing banners while the sweep is still
+// in flight. open is closed when the last probe has been answered; the final
+// Result — with the Open list sorted and the counters totalled, byte-identical
+// to Scan's — is then delivered on done.
+//
+// The caller must drain open (directly or through zgrab.RunStream); the sweep
+// blocks once the channel's buffer fills.
+func ScanStream(p Prober, cfg Config) (open <-chan netip.Addr, done <-chan *Result, err error) {
+	openCh := make(chan netip.Addr, 256)
+	doneCh := make(chan *Result, 1)
 	if len(cfg.Targets) == 0 {
-		return &Result{Port: cfg.Port}, nil
+		close(openCh)
+		doneCh <- &Result{Port: cfg.Port}
+		close(doneCh)
+		return openCh, doneCh, nil
 	}
 	if cfg.Port == 0 {
-		return nil, fmt.Errorf("zmaplite: port must be set")
+		return nil, nil, fmt.Errorf("zmaplite: port must be set")
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -60,7 +95,7 @@ func Scan(p Prober, cfg Config) (*Result, error) {
 	}
 	perm, err := NewPermutation(uint64(len(cfg.Targets)), cfg.Seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	limiter := NewLimiter(cfg.Clock, cfg.Rate, 64)
 
@@ -78,33 +113,39 @@ func Scan(p Prober, cfg Config) (*Result, error) {
 		}
 	}()
 
-	var (
-		mu  sync.Mutex
-		res = Result{Port: cfg.Port}
-		wg  sync.WaitGroup
-	)
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(s *shard) {
 			defer wg.Done()
 			for i := range idxCh {
 				limiter.Acquire()
 				addr := cfg.Targets[i]
-				status := p.SynProbe(addr, cfg.Port)
-				mu.Lock()
-				switch status {
+				switch p.SynProbe(addr, cfg.Port) {
 				case netsim.StatusOpen:
-					res.Open = append(res.Open, addr)
+					s.open = append(s.open, addr)
+					openCh <- addr
 				case netsim.StatusClosed:
-					res.Closed++
+					s.closed++
 				default:
-					res.Filtered++
+					s.filtered++
 				}
-				mu.Unlock()
 			}
-		}()
+		}(&shards[w])
 	}
-	wg.Wait()
-	sort.Slice(res.Open, func(i, j int) bool { return res.Open[i].Less(res.Open[j]) })
-	return &res, nil
+	go func() {
+		wg.Wait()
+		close(openCh)
+		res := &Result{Port: cfg.Port}
+		for _, s := range shards {
+			res.Open = append(res.Open, s.open...)
+			res.Closed += s.closed
+			res.Filtered += s.filtered
+		}
+		sort.Slice(res.Open, func(i, j int) bool { return res.Open[i].Less(res.Open[j]) })
+		doneCh <- res
+		close(doneCh)
+	}()
+	return openCh, doneCh, nil
 }
