@@ -27,7 +27,6 @@ package aliaslimit
 import (
 	"fmt"
 	"net/netip"
-	"sort"
 	"strings"
 
 	"aliaslimit/internal/alias"
@@ -113,6 +112,12 @@ func Run(opts Options) (*Study, error) {
 	return &Study{env: env}, nil
 }
 
+// Env exposes the measured environment for the repository's own
+// benchmarking and diagnostic tools (cmd/benchtables). It returns an
+// internal type; out-of-module consumers should use the stable Study
+// accessors instead.
+func (s *Study) Env() *experiments.Env { return s.env }
+
 // TableIDs lists the regenerable tables in paper order.
 func (s *Study) TableIDs() []string {
 	return []string{"Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Table 6"}
@@ -160,24 +165,11 @@ func (s *Study) RenderFigure(id string) (string, error) {
 	}
 }
 
-// RenderAll regenerates every table and figure.
+// RenderAll regenerates every table and figure. The artifacts are generated
+// concurrently (they share the env's memoized analysis views), and the
+// output is byte-identical to rendering each artifact in paper order.
 func (s *Study) RenderAll() string {
-	var sb strings.Builder
-	for _, id := range s.TableIDs() {
-		out, err := s.RenderTable(id)
-		if err == nil {
-			sb.WriteString(out)
-			sb.WriteByte('\n')
-		}
-	}
-	for _, id := range s.FigureIDs() {
-		out, err := s.RenderFigure(id)
-		if err == nil {
-			sb.WriteString(out)
-			sb.WriteByte('\n')
-		}
-	}
-	return sb.String()
+	return s.env.RenderAll()
 }
 
 // RenderExtensions runs the future-work extension experiments (multi-vantage
@@ -222,29 +214,18 @@ func (s *Study) AliasSets(p Protocol, v4 bool) ([][]netip.Addr, error) {
 	if ip == ident.SNMP {
 		ds = s.env.Active // SNMPv3 has a single source, as in the paper
 	}
-	sets := alias.NonSingleton(alias.FilterFamily(ds.Sets(ip), v4))
-	return setsToAddrs(sets), nil
+	return setsToAddrs(ds.NonSingletonFamilySets(ip, v4)), nil
 }
 
 // UnionAliasSets returns the cross-protocol union alias sets for one family.
 func (s *Study) UnionAliasSets(v4 bool) [][]netip.Addr {
-	merged := alias.Merge(
-		alias.NonSingleton(alias.FilterFamily(s.env.Both.Sets(ident.SSH), v4)),
-		alias.NonSingleton(alias.FilterFamily(s.env.Both.Sets(ident.BGP), v4)),
-		alias.NonSingleton(alias.FilterFamily(s.env.Active.Sets(ident.SNMP), v4)),
-	)
-	return setsToAddrs(alias.NonSingleton(merged))
+	return setsToAddrs(s.env.UnionFamilyNonSingleton(v4))
 }
 
 // DualStackSets returns the union dual-stack sets (each spans both
 // families).
 func (s *Study) DualStackSets() [][]netip.Addr {
-	merged := alias.Merge(
-		s.env.Both.Sets(ident.SSH),
-		s.env.Both.Sets(ident.BGP),
-		s.env.Active.Sets(ident.SNMP),
-	)
-	return setsToAddrs(alias.DualStack(merged))
+	return setsToAddrs(s.env.DualStackSets())
 }
 
 // Validation runs the paper's cross-protocol validation for a protocol pair
@@ -258,38 +239,18 @@ func (s *Study) Validation(a, b Protocol) (sample, agree, disagree int, err erro
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	_, _, res := alias.CrossValidate(s.env.Active.Obs[ia], s.env.Active.Obs[ib])
+	_, res := s.env.ValidatePair(ia, ib)
 	return res.Sample, res.Agree, res.Disagree, nil
 }
 
 // MIDARValidation verifies up to maxSets sampled SSH alias sets with the
 // IPID pipeline and reports the tally (unverifiable, confirmed, split).
+// maxSets <= 0 selects the paper-scaled default sample (61 sets at Scale 1),
+// exactly as Table 2 does: both share the same memoized verification run
+// instead of probing the fabric twice.
 func (s *Study) MIDARValidation(maxSets int) (unverifiable, confirmed, split int) {
-	tbl := s.env.Table2(experiments.Table2Config{MIDARSampleSize: maxSets})
-	_ = tbl // Table2 runs the pipeline; recompute the tally directly below.
-	session := midar.NewSession(s.env.World.Fabric.Vantage(topo.VantageActive), s.env.World.Clock, midar.Config{})
-	sample := sampleSSHSets(s, maxSets)
-	_, tally := session.VerifySets(sample)
-	return tally.Unverifiable, tally.Confirmed, tally.Split
-}
-
-// sampleSSHSets picks small SSH sets for MIDAR, mirroring the paper's ≤10
-// address constraint.
-func sampleSSHSets(s *Study, maxSets int) []alias.Set {
-	sets := alias.NonSingleton(alias.FilterFamily(s.env.Active.Sets(ident.SSH), true))
-	var eligible []alias.Set
-	for _, set := range sets {
-		if set.Size() <= 10 {
-			eligible = append(eligible, set)
-		}
-	}
-	sort.Slice(eligible, func(i, j int) bool {
-		return eligible[i].Signature() < eligible[j].Signature()
-	})
-	if maxSets > 0 && len(eligible) > maxSets {
-		eligible = eligible[:maxSets]
-	}
-	return eligible
+	run := s.env.MIDARRun(maxSets, midar.Config{})
+	return run.Tally.Unverifiable, run.Tally.Confirmed, run.Tally.Split
 }
 
 // setsToAddrs converts internal sets into plain address slices.
@@ -313,14 +274,15 @@ type Stats struct {
 	Devices int
 }
 
-// Stats computes the summary.
+// Stats computes the summary from the env's cached views; after the first
+// call every quantity is a memoized lookup.
 func (s *Study) Stats() Stats {
 	return Stats{
 		V4Addresses:      len(s.env.Both.AllAddrs(experiments.V4)),
 		V6Addresses:      len(s.env.Both.AllAddrs(experiments.V6)),
-		UnionAliasSetsV4: len(s.UnionAliasSets(true)),
-		UnionAliasSetsV6: len(s.UnionAliasSets(false)),
-		DualStackSets:    len(s.DualStackSets()),
+		UnionAliasSetsV4: len(s.env.UnionFamilyNonSingleton(true)),
+		UnionAliasSetsV6: len(s.env.UnionFamilyNonSingleton(false)),
+		DualStackSets:    len(s.env.DualStackSets()),
 		Devices:          s.env.World.Fabric.NumDevices(),
 	}
 }

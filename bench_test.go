@@ -190,6 +190,48 @@ func BenchmarkCollectActive(b *testing.B) {
 	}
 }
 
+// BenchmarkTopoBuild compares sequential world generation (BuildWorkers=1)
+// against the sharded plan/build/commit pipeline (BuildWorkers=0: all
+// cores). Both settings produce byte-identical worlds
+// (topo.TestBuildParallelDeterministic asserts this).
+func BenchmarkTopoBuild(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := topo.Default()
+				cfg.Scale = 0.25
+				cfg.Seed = 7
+				cfg.BuildWorkers = bc.workers
+				w, err := topo.Build(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(w.Fabric.NumDevices()), "devices")
+			}
+		})
+	}
+}
+
+// BenchmarkRenderAll measures regenerating every table and figure from the
+// shared measured environment — the memoized analysis layer makes repeated
+// full renders near-free, and generation is concurrent.
+func BenchmarkRenderAll(b *testing.B) {
+	env := benchEnv(b)
+	env.RenderAll() // populate the views once; steady-state is what a service would see
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(env.RenderAll())
+	}
+	b.ReportMetric(float64(n), "bytes")
+}
+
 // BenchmarkScanSSH measures the full two-phase SSH measurement (SYN sweep +
 // application-layer handshakes) over the IPv4 universe.
 func BenchmarkScanSSH(b *testing.B) {

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"aliaslimit"
+	"aliaslimit/internal/alias"
+	"aliaslimit/internal/ident"
+)
+
+// benchEntry is one measured operation in BENCH_analysis.json.
+type benchEntry struct {
+	// Name identifies the operation ("table3_render", "grouping_union_ssh").
+	Name string `json:"name"`
+	// NsPerOp is the mean wall-clock nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Ops is how many iterations the mean was taken over.
+	Ops int `json:"ops"`
+}
+
+// benchReport is the machine-readable perf-trajectory artifact the CI
+// bench-smoke job uploads: one file per run, comparable across commits.
+type benchReport struct {
+	// Scale and Seed identify the measured world.
+	Scale float64 `json:"scale"`
+	Seed  uint64  `json:"seed"`
+	// CPUs is runtime.NumCPU on the measuring host.
+	CPUs int `json:"cpus"`
+	// GoOS and GoArch identify the platform.
+	GoOS   string `json:"goos"`
+	GoArch string `json:"goarch"`
+	// Results holds the measurements.
+	Results []benchEntry `json:"results"`
+}
+
+// measure runs f repeatedly for a small time budget and reports mean ns/op.
+func measure(name string, f func()) benchEntry {
+	const budget = 150 * time.Millisecond
+	start := time.Now()
+	ops := 0
+	for {
+		f()
+		ops++
+		if el := time.Since(start); el >= budget || ops >= 1_000_000 {
+			return benchEntry{Name: name, Ops: ops, NsPerOp: float64(el.Nanoseconds()) / float64(ops)}
+		}
+	}
+}
+
+// writeBenchJSON builds a study, measures the analysis hot paths (grouping,
+// merge, per-table and per-figure render, full Run), and writes the JSON
+// report to path ("-" for stdout).
+func writeBenchJSON(path string, scale float64, seed uint64, workers, parallelism int, stdout, stderr io.Writer) error {
+	rep := benchReport{
+		Scale: scale, Seed: seed,
+		CPUs: runtime.NumCPU(), GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+	}
+
+	// Full pipeline: world generation, both measurement campaigns, facade.
+	start := time.Now()
+	study, err := aliaslimit.Run(aliaslimit.Options{
+		Seed: seed, Scale: scale, Workers: workers, Parallelism: parallelism,
+	})
+	if err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results, benchEntry{
+		Name: "run_full", Ops: 1, NsPerOp: float64(time.Since(start).Nanoseconds()),
+	})
+
+	// First full render: every memoized view cold, including the MIDAR run.
+	start = time.Now()
+	study.RenderAll()
+	rep.Results = append(rep.Results, benchEntry{
+		Name: "render_all_cold", Ops: 1, NsPerOp: float64(time.Since(start).Nanoseconds()),
+	})
+
+	env := study.Env()
+	rep.Results = append(rep.Results,
+		measure("grouping_union_ssh", func() { alias.Group(env.Both.Obs[ident.SSH]) }),
+		measure("merge_union_v4", func() {
+			alias.Merge(
+				env.Both.NonSingletonFamilySets(ident.SSH, true),
+				env.Both.NonSingletonFamilySets(ident.BGP, true),
+				env.Active.NonSingletonFamilySets(ident.SNMP, true),
+			)
+		}),
+	)
+	for _, id := range study.TableIDs() {
+		id := id
+		name := fmt.Sprintf("table%c_render", id[len(id)-1])
+		rep.Results = append(rep.Results, measure(name, func() { study.RenderTable(id) }))
+	}
+	for _, id := range study.FigureIDs() {
+		id := id
+		name := fmt.Sprintf("figure%c_render", id[len(id)-1])
+		rep.Results = append(rep.Results, measure(name, func() { study.RenderFigure(id) }))
+	}
+	rep.Results = append(rep.Results, measure("render_all_warm", func() { study.RenderAll() }))
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "benchtables: wrote %d measurements to %s\n", len(rep.Results), path)
+	return nil
+}

@@ -49,11 +49,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	table := fs.String("table", "", "regenerate a single table (1-6)")
 	figure := fs.String("figure", "", "regenerate a single figure (3-6)")
 	extensions := fs.Bool("extensions", false, "also run the future-work extension experiments")
+	benchJSON := fs.String("benchjson", "", "measure the analysis hot paths and write BENCH_analysis.json to this path (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
 		}
 		return errBadFlags
+	}
+
+	if *benchJSON != "" {
+		return writeBenchJSON(*benchJSON, *scale, *seed, *workers, *parallelism, stdout, stderr)
 	}
 
 	start := time.Now()

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"strings"
@@ -21,6 +22,48 @@ func TestRunSingleTable(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "world built and measured") {
 		t.Fatalf("missing build summary on stderr: %s", stderr.String())
+	}
+}
+
+// TestRunBenchJSON exercises the machine-readable perf-baseline mode at
+// tiny scale and validates the JSON shape.
+func TestRunBenchJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-scale", "0.05", "-seed", "2", "-workers", "16", "-benchjson", "-"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	var rep struct {
+		Scale   float64 `json:"scale"`
+		Results []struct {
+			Name    string  `json:"name"`
+			NsPerOp float64 `json:"ns_per_op"`
+			Ops     int     `json:"ops"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Scale != 0.05 {
+		t.Errorf("scale = %v", rep.Scale)
+	}
+	want := map[string]bool{
+		"run_full": false, "render_all_cold": false, "render_all_warm": false,
+		"grouping_union_ssh": false, "merge_union_v4": false,
+		"table3_render": false, "figure6_render": false,
+	}
+	for _, r := range rep.Results {
+		if _, tracked := want[r.Name]; tracked {
+			want[r.Name] = true
+		}
+		if r.NsPerOp <= 0 || r.Ops <= 0 {
+			t.Errorf("%s: degenerate measurement %+v", r.Name, r)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("measurement %s missing from report", name)
+		}
 	}
 }
 

@@ -75,8 +75,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 			candidates = append(candidates, s)
 		}
 	}
+	// Canonical order via the binary set key; Signature stays for the
+	// human-readable split report below.
 	sort.Slice(candidates, func(i, j int) bool {
-		return candidates[i].Signature() < candidates[j].Signature()
+		return candidates[i].Key() < candidates[j].Key()
 	})
 	if len(candidates) > *sample {
 		candidates = candidates[:*sample]

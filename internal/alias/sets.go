@@ -6,6 +6,7 @@ package alias
 
 import (
 	"net/netip"
+	"slices"
 	"sort"
 	"strings"
 
@@ -65,7 +66,33 @@ func (s Set) IsDualStack() bool {
 	return s.V4Count() > 0 && s.V6Count() > 0
 }
 
+// SetKey is a compact canonical binary key for a Set: a deterministic total
+// order and exact-membership equality without the decimal formatting cost of
+// Signature. Keys from sets over the same address population are equal iff
+// the sets have identical membership. Use it wherever sets are sorted,
+// sampled, or matched; Signature stays for human-readable output.
+type SetKey string
+
+// Key renders the binary key: one family tag byte plus the 16-byte expanded
+// form per address, in the set's canonical (sorted) order. The tag byte keeps
+// an IPv4 address distinct from its IPv4-mapped IPv6 equivalent.
+func (s Set) Key() SetKey {
+	b := make([]byte, 0, len(s.Addrs)*17)
+	for _, a := range s.Addrs {
+		if a.Is4() {
+			b = append(b, 4)
+		} else {
+			b = append(b, 6)
+		}
+		a16 := a.As16()
+		b = append(b, a16[:]...)
+	}
+	return SetKey(b)
+}
+
 // Signature returns a canonical string key for exact-membership comparison.
+// It allocates per address; hot paths should use Key instead and keep
+// Signature for human-readable CLI and log output.
 func (s Set) Signature() string {
 	var sb strings.Builder
 	for i, a := range s.Addrs {
@@ -83,32 +110,87 @@ func (s Set) Contains(addr netip.Addr) bool {
 	return i < len(s.Addrs) && s.Addrs[i] == addr
 }
 
-// sortSets orders sets canonically (by first address) for reproducibility.
+// compareSets is the canonical total order on sets: first address, then
+// size, then element-wise comparison. A total order keeps the final set
+// ordering independent of the (parallelism-dependent) order in which sets
+// were produced.
+func compareSets(a, b Set) int {
+	if len(a.Addrs) == 0 || len(b.Addrs) == 0 {
+		return len(a.Addrs) - len(b.Addrs)
+	}
+	if c := a.Addrs[0].Compare(b.Addrs[0]); c != 0 {
+		return c
+	}
+	if len(a.Addrs) != len(b.Addrs) {
+		return len(a.Addrs) - len(b.Addrs)
+	}
+	for i := range a.Addrs {
+		if c := a.Addrs[i].Compare(b.Addrs[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// sortSets orders sets canonically for reproducibility.
 func sortSets(sets []Set) {
-	sort.Slice(sets, func(i, j int) bool {
-		a, b := sets[i].Addrs, sets[j].Addrs
-		if len(a) == 0 || len(b) == 0 {
-			return len(a) < len(b)
-		}
-		if a[0] != b[0] {
-			return a[0].Less(b[0])
-		}
-		return len(a) < len(b)
-	})
+	slices.SortFunc(sets, compareSets)
+}
+
+// groupPair is one interned observation: a dense identifier id and the
+// observed address.
+type groupPair struct {
+	id   int32
+	addr netip.Addr
 }
 
 // Group clusters observations by identifier: one Set per distinct
 // identifier, including singletons. Duplicate (addr, id) observations — the
 // same address seen by two data sources — collapse naturally.
+//
+// Identifiers are interned into dense int32 ids and the whole input is
+// ordered with a single global sort of (id, addr) pairs; every set then
+// slices one shared backing array. Compared with the previous map-of-slices
+// implementation this removes the per-observation key materialisation and
+// the per-set sort, cutting both time and allocations on the hot analysis
+// path.
 func Group(obs []Observation) []Set {
-	byID := make(map[string][]netip.Addr)
-	for _, o := range obs {
-		k := o.ID.Key()
-		byID[k] = append(byID[k], o.Addr)
+	ids := make(map[ident.Identifier]int32, len(obs))
+	pairs := make([]groupPair, len(obs))
+	for i, o := range obs {
+		id, ok := ids[o.ID]
+		if !ok {
+			id = int32(len(ids))
+			ids[o.ID] = id
+		}
+		pairs[i] = groupPair{id: id, addr: o.Addr}
 	}
-	sets := make([]Set, 0, len(byID))
-	for _, addrs := range byID {
-		sets = append(sets, NewSet(addrs...))
+	slices.SortFunc(pairs, func(a, b groupPair) int {
+		if a.id != b.id {
+			if a.id < b.id {
+				return -1
+			}
+			return 1
+		}
+		return a.addr.Compare(b.addr)
+	})
+	// Walk the sorted pairs: identifier boundaries cut sets, adjacent equal
+	// pairs collapse. addrs never outgrows its initial capacity, so every
+	// set's Addrs aliases one allocation.
+	addrs := make([]netip.Addr, 0, len(pairs))
+	sets := make([]Set, 0, len(ids))
+	start := 0
+	for i, p := range pairs {
+		if i > 0 && pairs[i-1].id != p.id {
+			sets = append(sets, Set{Addrs: addrs[start:len(addrs):len(addrs)]})
+			start = len(addrs)
+		}
+		if len(addrs) == start || addrs[len(addrs)-1] != p.addr {
+			addrs = append(addrs, p.addr)
+		}
+	}
+	if len(pairs) > 0 {
+		sets = append(sets, Set{Addrs: addrs[start:len(addrs):len(addrs)]})
 	}
 	sortSets(sets)
 	return sets
@@ -175,45 +257,73 @@ func CoveredAddrs(sets []Set) int {
 // may contain singletons; the output contains every address that appeared,
 // re-partitioned.
 func Merge(groups ...[]Set) []Set {
-	index := make(map[netip.Addr]int32)
-	var addrs []netip.Addr
-	idxOf := func(a netip.Addr) int32 {
-		if i, ok := index[a]; ok {
-			return i
-		}
-		i := int32(len(addrs))
-		index[a] = i
-		addrs = append(addrs, a)
-		return i
-	}
-	// First pass: intern every address.
+	return MergeWith(NewAddrTable(), groups...)
+}
+
+// MergeWith is Merge with a caller-supplied interning table. Repeated merges
+// over overlapping address populations (the analysis layer's per-family,
+// per-source, and dual-stack unions) reuse the table's hash index instead of
+// re-interning from scratch. The table is mutated; see AddrTable for the
+// concurrency contract.
+func MergeWith(t *AddrTable, groups ...[]Set) []Set {
+	t.epoch++
+	// Membership pass: intern every address and record, in first-appearance
+	// order, the dense per-call ids this merge operates on.
+	var members []int32
 	for _, sets := range groups {
 		for _, s := range sets {
 			for _, a := range s.Addrs {
-				idxOf(a)
+				i := t.Intern(a)
+				if t.mark[i] != t.epoch {
+					t.mark[i] = t.epoch
+					t.pos[i] = int32(len(members))
+					members = append(members, i)
+				}
 			}
 		}
 	}
-	d := newDSU(len(addrs))
+	d := newDSU(len(members))
 	for _, sets := range groups {
 		for _, s := range sets {
 			if len(s.Addrs) < 2 {
 				continue
 			}
-			first := index[s.Addrs[0]]
+			first := t.pos[t.index[s.Addrs[0]]]
 			for _, a := range s.Addrs[1:] {
-				d.union(first, index[a])
+				d.union(first, t.pos[t.index[a]])
 			}
 		}
 	}
-	comp := make(map[int32][]netip.Addr)
-	for i, a := range addrs {
-		r := d.find(int32(i))
-		comp[r] = append(comp[r], a)
+	// Bucket members by component with a counting pass so all output sets
+	// slice one backing array.
+	rootSet := make(map[int32]int32)
+	var counts []int32
+	for m := range members {
+		r := d.find(int32(m))
+		si, ok := rootSet[r]
+		if !ok {
+			si = int32(len(counts))
+			rootSet[r] = si
+			counts = append(counts, 0)
+		}
+		counts[si]++
 	}
-	out := make([]Set, 0, len(comp))
-	for _, as := range comp {
-		out = append(out, NewSet(as...))
+	offsets := make([]int32, len(counts)+1)
+	for i, c := range counts {
+		offsets[i+1] = offsets[i] + c
+	}
+	backing := make([]netip.Addr, len(members))
+	fill := append([]int32(nil), offsets[:len(counts)]...)
+	for m, gid := range members {
+		si := rootSet[d.find(int32(m))]
+		backing[fill[si]] = t.addrs[gid]
+		fill[si]++
+	}
+	out := make([]Set, len(counts))
+	for i := range counts {
+		seg := backing[offsets[i]:offsets[i+1]:offsets[i+1]]
+		slices.SortFunc(seg, netip.Addr.Compare)
+		out[i] = Set{Addrs: seg}
 	}
 	sortSets(out)
 	return out

@@ -44,14 +44,15 @@ func CrossValidate(aObs, bObs []Observation) (aSets, bSets []Set, res Validation
 // MatchSets counts exact-membership matches of a's sets among b's sets.
 // Callers compare partitions over the same address population (use Restrict
 // first); the result is then symmetric up to the differing set counts.
+// Matching is keyed on the binary SetKey, not the formatted Signature.
 func MatchSets(a, b []Set) ValidationResult {
-	bySig := make(map[string]bool, len(b))
+	byKey := make(map[SetKey]struct{}, len(b))
 	for _, s := range b {
-		bySig[s.Signature()] = true
+		byKey[s.Key()] = struct{}{}
 	}
 	res := ValidationResult{Sample: len(a)}
 	for _, s := range a {
-		if bySig[s.Signature()] {
+		if _, ok := byKey[s.Key()]; ok {
 			res.Agree++
 		} else {
 			res.Disagree++

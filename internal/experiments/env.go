@@ -8,7 +8,9 @@ import (
 )
 
 // Env is a fully measured environment: the world plus the two datasets and
-// their union — everything the tables and figures read from.
+// their union — everything the tables and figures read from. BuildEnv seals
+// the datasets, so every analysis view is computed once and shared; see
+// views.go for the caching contract.
 type Env struct {
 	// World is the synthetic Internet.
 	World *topo.World
@@ -19,6 +21,8 @@ type Env struct {
 	Censys *Dataset
 	// Both is Union(Active, Censys), the default analysis input.
 	Both *Dataset
+
+	views envViews
 }
 
 // Options parameterise environment construction.
@@ -68,10 +72,12 @@ func BuildEnv(opts Options) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Env{
+	env := &Env{
 		World:  w,
 		Active: active,
 		Censys: censys,
 		Both:   Union("Union", active, censys),
-	}, nil
+	}
+	env.seal()
+	return env, nil
 }

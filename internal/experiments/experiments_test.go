@@ -188,9 +188,9 @@ func TestInferenceRecallSSH(t *testing.T) {
 
 func TestTable3UnionDoublesSNMP(t *testing.T) {
 	e := testEnv(t)
-	ssh := alias.NonSingleton(protocolFamilySets(e.Both, ident.SSH, true))
-	bgpSets := alias.NonSingleton(protocolFamilySets(e.Both, ident.BGP, true))
-	snmp := alias.NonSingleton(protocolFamilySets(e.Active, ident.SNMP, true))
+	ssh := alias.NonSingleton(e.Both.FamilySets(ident.SSH, true))
+	bgpSets := alias.NonSingleton(e.Both.FamilySets(ident.BGP, true))
+	snmp := alias.NonSingleton(e.Active.FamilySets(ident.SNMP, true))
 	union := alias.NonSingleton(alias.Merge(ssh, bgpSets, snmp))
 	if len(union) < 2*len(snmp) {
 		t.Errorf("union sets (%d) should be at least double SNMPv3 alone (%d)",

@@ -182,7 +182,7 @@ func (e *Env) CompareBaselines() []BaselineComparison {
 		{Technique: "iffinder (common source addr)", Sets: len(iff.Sets), CoveredAddrs: alias.CoveredAddrs(iff.Sets)},
 	}
 	for _, p := range []ident.Protocol{ident.SSH, ident.BGP, ident.SNMP} {
-		sets := alias.NonSingleton(protocolFamilySets(e.Active, p, true))
+		sets := e.Active.NonSingletonFamilySets(p, true)
 		rows = append(rows, BaselineComparison{
 			Technique: p.String() + " identifier",
 			Sets:      len(sets), CoveredAddrs: alias.CoveredAddrs(sets),
@@ -222,7 +222,7 @@ type SpeedtrapValidation struct {
 // ValidateWithSpeedtrap runs the IPv6 validation over up to maxSets
 // candidate sets drawn from the active SSH scan.
 func (e *Env) ValidateWithSpeedtrap(maxSets int, cfg speedtrap.Config) SpeedtrapValidation {
-	sets := alias.NonSingleton(alias.FilterFamily(e.Active.Sets(ident.SSH), false))
+	sets := e.Active.NonSingletonFamilySets(ident.SSH, false)
 	var eligible []alias.Set
 	for _, s := range sets {
 		if s.Size() <= 10 {
@@ -263,8 +263,7 @@ type PTRComparison struct {
 // ComparePTRDualStack runs the DNS baseline against the identifier results.
 func (e *Env) ComparePTRDualStack() PTRComparison {
 	ptrSets := ptrdns.InferDualStack(e.World.PTR)
-	identifierSets := alias.DualStack(alias.Merge(
-		e.Both.Sets(ident.SSH), e.Both.Sets(ident.BGP), e.Both.Sets(ident.SNMP)))
+	identifierSets := e.DualStackSets()
 	c := ptrdns.CompareAgainst(ptrSets, identifierSets)
 	return PTRComparison{
 		PTRSets:        len(ptrSets),
@@ -314,7 +313,7 @@ func (e *Env) EvaluateAccuracy() []AccuracyReport {
 	var out []AccuracyReport
 	for _, p := range []ident.Protocol{ident.SSH, ident.BGP, ident.SNMP} {
 		owner := evaluate.OwnerMap(truthFor[p])
-		sets := alias.NonSingleton(e.Active.Sets(p))
+		sets := e.Active.NonSingletonSets(p)
 		m := evaluate.Pairwise(sets, owner)
 		out = append(out, AccuracyReport{
 			Protocol:  p.String(),

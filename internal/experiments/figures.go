@@ -27,9 +27,8 @@ func (f *Figure) Render() string {
 	return ecdf.Render(f.ID+": "+f.Title, f.XLabel, f.XS, f.Series)
 }
 
-// sizesOf lists non-singleton set sizes.
-func sizesOf(sets []alias.Set) []int {
-	ns := alias.NonSingleton(sets)
+// sizesOf lists the sizes of (non-singleton) sets.
+func sizesOf(ns []alias.Set) []int {
 	out := make([]int, len(ns))
 	for i, s := range ns {
 		out[i] = s.Size()
@@ -41,7 +40,7 @@ func sizesOf(sets []alias.Set) []int {
 // source × protocol combination the paper plots.
 func (e *Env) Figure3() *Figure {
 	curve := func(name string, ds *Dataset, p ident.Protocol) ecdf.Series {
-		return ecdf.Series{Name: name, E: ecdf.FromInts(sizesOf(protocolFamilySets(ds, p, true)))}
+		return ecdf.Series{Name: name, E: ecdf.FromInts(sizesOf(ds.NonSingletonFamilySets(p, true)))}
 	}
 	return &Figure{
 		ID:     "Figure 3",
@@ -62,7 +61,7 @@ func (e *Env) Figure3() *Figure {
 // measurements only, as in the paper).
 func (e *Env) Figure4() *Figure {
 	curve := func(name string, p ident.Protocol) ecdf.Series {
-		return ecdf.Series{Name: name, E: ecdf.FromInts(sizesOf(protocolFamilySets(e.Active, p, false)))}
+		return ecdf.Series{Name: name, E: ecdf.FromInts(sizesOf(e.Active.NonSingletonFamilySets(p, false)))}
 	}
 	return &Figure{
 		ID:     "Figure 4",
@@ -83,7 +82,7 @@ func (e *Env) Figure4() *Figure {
 func (e *Env) Figure5() *Figure {
 	m := e.mapper()
 	curve := func(name string, ds *Dataset, p ident.Protocol) ecdf.Series {
-		spread := asview.SpreadPerSet(m, alias.NonSingleton(protocolFamilySets(ds, p, true)))
+		spread := asview.SpreadPerSet(m, ds.NonSingletonFamilySets(p, true))
 		return ecdf.Series{Name: name, E: ecdf.FromInts(spread)}
 	}
 	return &Figure{
@@ -103,13 +102,8 @@ func (e *Env) Figure5() *Figure {
 // sets per AS.
 func (e *Env) Figure6() *Figure {
 	m := e.mapper()
-	aliasUnion := alias.NonSingleton(alias.Merge(
-		alias.NonSingleton(protocolFamilySets(e.Both, ident.SSH, true)),
-		alias.NonSingleton(protocolFamilySets(e.Both, ident.BGP, true)),
-		alias.NonSingleton(protocolFamilySets(e.Active, ident.SNMP, true)),
-	))
-	dualUnion := alias.DualStack(alias.Merge(
-		e.Both.Sets(ident.SSH), e.Both.Sets(ident.BGP), e.Both.Sets(ident.SNMP)))
+	aliasUnion := e.UnionFamilyNonSingleton(true)
+	dualUnion := e.DualStackSets()
 
 	countsToInts := func(counts map[uint32]int) []int {
 		out := make([]int, 0, len(counts))

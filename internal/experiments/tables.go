@@ -9,7 +9,6 @@ import (
 	"aliaslimit/internal/asview"
 	"aliaslimit/internal/ident"
 	"aliaslimit/internal/midar"
-	"aliaslimit/internal/topo"
 	"aliaslimit/internal/xrand"
 )
 
@@ -73,6 +72,36 @@ type Table2Config struct {
 	MIDAR midar.Config
 }
 
+// ValidatePair runs the paper's §2.6 cross-protocol validation for two
+// protocols over the active measurement, reusing the cached identifier
+// groups and address universes: restrict both partitions to their common
+// responsive addresses, then count exact-membership matches.
+func (e *Env) ValidatePair(a, b ident.Protocol) (commonIPs int, res alias.ValidationResult) {
+	common := commonAddrSet(e.Active.Addrs(a, nil), e.Active.Addrs(b, nil))
+	aSets := alias.Restrict(e.Active.Sets(a), common)
+	bSets := alias.Restrict(e.Active.Sets(b), common)
+	return len(common), alias.MatchSets(aSets, bSets)
+}
+
+// commonAddrSet intersects two sorted address lists into a membership map.
+func commonAddrSet(a, b []netip.Addr) map[netip.Addr]bool {
+	common := make(map[netip.Addr]bool)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch c := a[i].Compare(b[j]); {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			common[a[i]] = true
+			i++
+			j++
+		}
+	}
+	return common
+}
+
 // Table2 regenerates the alias-set validation table: cross-protocol
 // exact-match comparisons on the active data and the SSH-vs-MIDAR run.
 func (e *Env) Table2(cfg Table2Config) *Table {
@@ -81,25 +110,22 @@ func (e *Env) Table2(cfg Table2Config) *Table {
 		Title:  "Alias Sets Validation",
 		Header: []string{"Pair", "Common IPs", "Sample size", "Agree", "Disagree", "Agreement"},
 	}
-	pair := func(name string, a, b []alias.Observation) {
-		common := alias.CommonAddrCount(a, b)
-		aSets, _, res := alias.CrossValidate(a, b)
-		_ = aSets
+	pair := func(name string, a, b ident.Protocol) {
+		common, res := e.ValidatePair(a, b)
 		t.Rows = append(t.Rows, []string{
 			name, count(common), count(res.Sample), count(res.Agree), count(res.Disagree),
 			fmt.Sprintf("%.0f%%", 100*res.AgreementRate()),
 		})
 	}
-	pair("SSH-BGP", e.Active.Obs[ident.SSH], e.Active.Obs[ident.BGP])
-	pair("SSH-SNMPv3", e.Active.Obs[ident.SSH], e.Active.Obs[ident.SNMP])
-	pair("BGP-SNMPv3", e.Active.Obs[ident.BGP], e.Active.Obs[ident.SNMP])
+	pair("SSH-BGP", ident.SSH, ident.BGP)
+	pair("SSH-SNMPv3", ident.SSH, ident.SNMP)
+	pair("BGP-SNMPv3", ident.BGP, ident.SNMP)
 
 	// SSH vs MIDAR: sample non-singleton IPv4 SSH sets with at most ten
 	// addresses (the paper's constraint to bound the run time), verify each
-	// with the IPID pipeline.
-	sample := e.midarSample(cfg.MIDARSampleSize)
-	session := midar.NewSession(e.World.Fabric.Vantage(topo.VantageMIDAR), e.World.Clock, cfg.MIDAR)
-	_, tally := session.VerifySets(sample)
+	// with the IPID pipeline. The run is memoized per configuration.
+	run := e.MIDARRun(cfg.MIDARSampleSize, cfg.MIDAR)
+	sample, tally := run.Sample, run.Tally
 	verifiable := tally.Verifiable()
 	rate := 0.0
 	if verifiable > 0 {
@@ -127,28 +153,22 @@ func (e *Env) midarSample(max int) []alias.Set {
 			max = 5
 		}
 	}
-	sets := alias.NonSingleton(alias.FilterFamily(e.Active.Sets(ident.SSH), true))
+	sets := e.Active.NonSingletonFamilySets(ident.SSH, true)
 	var eligible []alias.Set
 	for _, s := range sets {
 		if s.Size() <= 10 {
 			eligible = append(eligible, s)
 		}
 	}
-	// Deterministic sample: shuffle by stable hash of the signature.
+	// Deterministic sample: shuffle by stable hash of the binary set key.
 	sort.Slice(eligible, func(i, j int) bool {
-		return xrand.Hash64("midar-sample", eligible[i].Signature()) <
-			xrand.Hash64("midar-sample", eligible[j].Signature())
+		return xrand.Hash64("midar-sample", string(eligible[i].Key())) <
+			xrand.Hash64("midar-sample", string(eligible[j].Key()))
 	})
 	if len(eligible) > max {
 		eligible = eligible[:max]
 	}
 	return eligible
-}
-
-// protocolFamilySets returns a protocol's family-filtered identifier groups
-// for a dataset (all sizes).
-func protocolFamilySets(ds *Dataset, p ident.Protocol, v4 bool) []alias.Set {
-	return alias.FilterFamily(ds.Sets(p), v4)
 }
 
 // Table3 regenerates the alias-sets overview: non-singleton set counts and
@@ -160,16 +180,11 @@ func (e *Env) Table3() *Table {
 		Header: []string{"Family", "Source", "Active", "Censys", "Union"},
 	}
 	cellFor := func(ds *Dataset, p ident.Protocol, v4 bool) string {
-		ns := alias.NonSingleton(protocolFamilySets(ds, p, v4))
+		ns := ds.NonSingletonFamilySets(p, v4)
 		return setsAndAddrs(len(ns), alias.CoveredAddrs(ns))
 	}
 	unionCell := func(ds *Dataset, v4 bool) string {
-		merged := alias.Merge(
-			alias.NonSingleton(protocolFamilySets(ds, ident.SSH, v4)),
-			alias.NonSingleton(protocolFamilySets(ds, ident.BGP, v4)),
-			alias.NonSingleton(protocolFamilySets(ds, ident.SNMP, v4)),
-		)
-		ns := alias.NonSingleton(merged)
+		ns := ds.MergedFamilyNonSingleton(v4)
 		return setsAndAddrs(len(ns), alias.CoveredAddrs(ns))
 	}
 	for _, row := range []struct {
@@ -235,10 +250,10 @@ func (e *Env) singleServiceNote(v4 bool) string {
 // the paper's headline "60% (more than double SNMPv3 alone) come from SSH or
 // BGP".
 func (e *Env) snmpExclusivityNote(v4 bool) string {
-	ssh := alias.NonSingleton(protocolFamilySets(e.Both, ident.SSH, v4))
-	bgpSets := alias.NonSingleton(protocolFamilySets(e.Both, ident.BGP, v4))
-	snmp := alias.NonSingleton(protocolFamilySets(e.Both, ident.SNMP, v4))
-	merged := alias.NonSingleton(alias.Merge(ssh, bgpSets, snmp))
+	ssh := e.Both.NonSingletonFamilySets(ident.SSH, v4)
+	bgpSets := e.Both.NonSingletonFamilySets(ident.BGP, v4)
+	snmp := e.Both.NonSingletonFamilySets(ident.SNMP, v4)
+	merged := e.Both.MergedFamilyNonSingleton(v4)
 	newProto := alias.AddrSet(append(append([]alias.Set(nil), ssh...), bgpSets...))
 	onlySNMP := 0
 	for _, s := range merged {
@@ -282,8 +297,7 @@ func (e *Env) Table4() *Table {
 		Title:  "Dual-Stack Sets",
 		Header: []string{"Protocol", "IPv4 addr", "IPv6 addr", "Dual-Stack Sets"},
 	}
-	row := func(name string, sets []alias.Set) {
-		ds := alias.DualStack(sets)
+	row := func(name string, ds []alias.Set) {
 		v4, v6 := 0, 0
 		for _, s := range ds {
 			v4 += s.V4Count()
@@ -291,15 +305,14 @@ func (e *Env) Table4() *Table {
 		}
 		t.Rows = append(t.Rows, []string{name, count(v4), count(v6), count(len(ds))})
 	}
-	row("SSH", e.Both.Sets(ident.SSH))
-	row("BGP", e.Both.Sets(ident.BGP))
-	row("SNMPv3", e.Both.Sets(ident.SNMP))
-	merged := alias.Merge(e.Both.Sets(ident.SSH), e.Both.Sets(ident.BGP), e.Both.Sets(ident.SNMP))
-	row("Union", merged)
+	row("SSH", alias.DualStack(e.Both.Sets(ident.SSH)))
+	row("BGP", alias.DualStack(e.Both.Sets(ident.BGP)))
+	row("SNMPv3", alias.DualStack(e.Both.Sets(ident.SNMP)))
+	row("Union", e.DualStackSets())
 
 	// The paper's set-size remark: 88% of dual-stack sets pair exactly one
 	// IPv4 with one IPv6 address.
-	ds := alias.DualStack(merged)
+	ds := e.DualStackSets()
 	pairs := 0
 	for _, s := range ds {
 		if s.Size() == 2 {
@@ -333,17 +346,13 @@ func (e *Env) Table5() *Table {
 		Title:  "Top 10 ASes for IPv4 alias sets (ASN (sets))",
 		Header: []string{"Rank", "SSH", "BGP", "SNMPv3", "Union"},
 	}
-	top := func(sets []alias.Set) []asview.ASCount {
-		return asview.Top(asview.SetsPerAS(m, alias.NonSingleton(sets)), 10)
+	top := func(ns []alias.Set) []asview.ASCount {
+		return asview.Top(asview.SetsPerAS(m, ns), 10)
 	}
-	ssh := top(protocolFamilySets(e.Both, ident.SSH, true))
-	bgpT := top(protocolFamilySets(e.Both, ident.BGP, true))
-	snmp := top(protocolFamilySets(e.Active, ident.SNMP, true))
-	union := top(alias.Merge(
-		alias.NonSingleton(protocolFamilySets(e.Both, ident.SSH, true)),
-		alias.NonSingleton(protocolFamilySets(e.Both, ident.BGP, true)),
-		alias.NonSingleton(protocolFamilySets(e.Active, ident.SNMP, true)),
-	))
+	ssh := top(e.Both.NonSingletonFamilySets(ident.SSH, true))
+	bgpT := top(e.Both.NonSingletonFamilySets(ident.BGP, true))
+	snmp := top(e.Active.NonSingletonFamilySets(ident.SNMP, true))
+	union := top(e.UnionFamilyNonSingleton(true))
 	cell := func(list []asview.ASCount, i int) string {
 		if i >= len(list) {
 			return "-"
@@ -367,14 +376,9 @@ func (e *Env) Table6() *Table {
 		Title:  "Top 10 ASes for IPv6 alias and dual-stack sets (ASN (sets))",
 		Header: []string{"Rank", "IPv6", "Dual-stack"},
 	}
-	v6Union := alias.NonSingleton(alias.Merge(
-		alias.NonSingleton(protocolFamilySets(e.Active, ident.SSH, false)),
-		alias.NonSingleton(protocolFamilySets(e.Active, ident.BGP, false)),
-		alias.NonSingleton(protocolFamilySets(e.Active, ident.SNMP, false)),
-	))
+	v6Union := e.Active.MergedFamilyNonSingleton(false)
 	v6Top := asview.Top(asview.SetsPerAS(m, v6Union), 10)
-	dsUnion := alias.DualStack(alias.Merge(
-		e.Both.Sets(ident.SSH), e.Both.Sets(ident.BGP), e.Both.Sets(ident.SNMP)))
+	dsUnion := e.DualStackSets()
 	dsTop := asview.Top(asview.SetsPerAS(m, dsUnion), 10)
 	cell := func(list []asview.ASCount, i int) string {
 		if i >= len(list) {

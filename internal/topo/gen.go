@@ -47,26 +47,23 @@ func (g *generator) newSeedReader(labels ...string) io.Reader {
 	return seedReader{s: xrand.NewSplitMix64(xrand.Hash64(key...))}
 }
 
-// fleetKey is an SSH host key shared across a device fleet (factory images,
-// cloned configs) — the paper's false-merge limitation.
-type fleetKey struct {
-	label   string
-	priv    ed25519.PrivateKey
-	profile *sshwire.Profile
-}
-
-// generator carries the in-progress build.
+// generator carries the in-progress build. The fleets map and the overlap /
+// router-ID registries are planning-phase state: they are resolved
+// sequentially in canonical device order (see plan.go) because later devices
+// clone earlier personalities.
 type generator struct {
 	w      *World
 	cfg    Config
-	fleets map[string]*fleetKey
+	fleets map[string]*sshPersona
 	bgpIDs []uint32
 	// overlapSSH registers the SSH personalities of multi-service routers
 	// so later routers can clone them (PCloneSSHKeyOverlap).
-	overlapSSH []*fleetKey
+	overlapSSH []*sshPersona
 	// overlapEngines registers SNMPv3 engine IDs of multi-service routers
 	// for the analogous cloning (PCloneEngineID).
 	overlapEngines [][]byte
+	// plans accumulates the device plans in canonical order.
+	plans []*devicePlan
 }
 
 // sk returns a per-entity probability key incorporating the world seed.
@@ -191,172 +188,88 @@ func (g *generator) filteredVantages(id string, pActive, pCensys float64) []stri
 	return out
 }
 
-// run generates every population.
+// run generates every population: plan sequentially, build in parallel,
+// commit sequentially (see plan.go for the phase contract).
 func (g *generator) run() error {
-	if err := g.singleSSHServers(); err != nil {
-		return err
-	}
-	if err := g.multiSSHHosts(); err != nil {
-		return err
-	}
-	if err := g.snmpSingles(); err != nil {
-		return err
-	}
-	if err := g.snmpRouters(); err != nil {
-		return err
-	}
-	if err := g.bgpPopulations(); err != nil {
-		return err
-	}
+	g.planSingleSSHServers()
+	g.planMultiSSHHosts()
+	g.planSNMPSingles()
+	g.planSNMPRouters()
+	g.planBGPPopulations()
 	g.decoys()
-	return nil
-}
-
-// addSSH binds an SSH service on the device and records ground truth.
-func (g *generator) addSSH(d *netsim.Device, srv *sshwire.Server, acl ...netip.Addr) {
-	d.SetService(22, srv, acl...)
-	g.w.Truth.SSHAddrs[d.ID()] = d.ServiceAddrs(22)
-}
-
-// addSNMP binds an SNMPv3 agent and records ground truth.
-func (g *generator) addSNMP(d *netsim.Device, agent *snmpv3.Agent, acl ...netip.Addr) {
-	d.SetUDPService(snmpv3.Port, agent.Handle, acl...)
-	g.w.Truth.SNMPAddrs[d.ID()] = d.UDPServiceAddrs(snmpv3.Port)
-}
-
-// addBGP binds a speaker; identifiable speakers are recorded in truth.
-func (g *generator) addBGP(d *netsim.Device, sp *bgp.Speaker, acl ...netip.Addr) {
-	d.SetService(179, sp, acl...)
-	if sp.Config().Behavior != bgp.BehaviorSilentClose {
-		g.w.Truth.BGPAddrs[d.ID()] = d.ServiceAddrs(179)
+	if err := g.buildDevices(); err != nil {
+		return err
 	}
+	return g.commit()
 }
 
-// sshServer builds the SSH handler for a device, honouring fleets and
-// per-interface capability variation.
-func (g *generator) sshServer(id string, router bool, addrs []netip.Addr) *sshwire.Server {
-	var key ed25519.PrivateKey
-	var profile *sshwire.Profile
+// planSSH resolves the SSH personality for a device, honouring fleets and
+// per-interface capability variation. Key generation is deferred to the
+// build phase; the persona records the derivation label.
+func (g *generator) planSSH(id string, router bool, addrs []netip.Addr) *sshPlan {
+	var persona *sshPersona
 	asn := g.w.AddrASN[addrs[0]]
 	if g.prob(id, "fleet") < g.cfg.PSharedSSHKey {
 		slot := g.intn(2, id, "fleet-slot")
 		label := fmt.Sprintf("fleet-%d-%d", asn, slot)
 		fl := g.fleets[label]
 		if fl == nil {
-			fl = &fleetKey{
-				label:   label,
-				priv:    g.hostKey(label),
-				profile: g.pickProfile(router, label),
+			fl = &sshPersona{
+				label:    label,
+				keyLabel: label,
+				profile:  g.pickProfile(router, label),
 			}
 			g.fleets[label] = fl
 		}
-		key, profile = fl.priv, fl.profile
+		persona = fl
 		g.w.Truth.Fleets[label] = append(g.w.Truth.Fleets[label], id)
 	} else {
-		key = g.hostKey(id)
-		profile = g.pickProfile(router, id)
+		persona = &sshPersona{label: id, keyLabel: id, profile: g.pickProfile(router, id)}
 	}
-	cfg := sshwire.ServerConfig{
-		Banner:           profile.Banner,
-		Algorithms:       profile.Algorithms,
-		HostKey:          key,
-		HandshakeTimeout: simHandshakeTimeout,
-	}
+	sp := &sshPlan{persona: persona}
 	if len(addrs) >= 2 && g.prob(id, "iface-var") < g.cfg.PSSHPerIfaceVariation {
-		varied := profile.Algorithms.Clone()
-		if len(varied.MAC) > 2 {
-			varied.MAC = varied.MAC[:len(varied.MAC)-2]
-		} else {
-			varied.Compression = []string{"none"}
-		}
-		special := addrs[0]
-		base := profile.Algorithms
-		cfg.AlgorithmsFor = func(a netip.Addr) sshwire.Algorithms {
-			if a == special {
-				return varied
-			}
-			return base
-		}
+		sp.varied = true
+		sp.variedAddr = addrs[0]
 	}
-	return sshwire.NewServer(cfg)
+	return sp
 }
 
-// sshServerOverlap builds the SSH personality of a multi-service router:
+// planSSHOverlap resolves the SSH personality of a multi-service router:
 // with probability PCloneSSHKeyOverlap it clones the key and software of a
-// previously generated multi-service router (cloned management configs),
+// previously planned multi-service router (cloned management configs),
 // which makes the SSH technique merge two distinct devices — the
 // disagreement the paper's Table 2 counts.
-func (g *generator) sshServerOverlap(id string) *sshwire.Server {
-	var personality *fleetKey
+func (g *generator) planSSHOverlap(id string) *sshPlan {
+	var persona *sshPersona
 	if len(g.overlapSSH) > 0 && g.prob(id, "clone-ssh") < g.cfg.PCloneSSHKeyOverlap {
-		personality = g.overlapSSH[g.intn(len(g.overlapSSH), id, "clone-pick")]
-		g.w.Truth.Fleets[personality.label] = append(g.w.Truth.Fleets[personality.label], id)
+		persona = g.overlapSSH[g.intn(len(g.overlapSSH), id, "clone-pick")]
 	} else {
-		personality = &fleetKey{
-			label:   "overlap-" + id,
-			priv:    g.hostKey(id),
-			profile: g.pickProfile(true, id),
+		persona = &sshPersona{
+			label:    "overlap-" + id,
+			keyLabel: id,
+			profile:  g.pickProfile(true, id),
 		}
-		g.overlapSSH = append(g.overlapSSH, personality)
-		g.w.Truth.Fleets[personality.label] = append(g.w.Truth.Fleets[personality.label], id)
+		g.overlapSSH = append(g.overlapSSH, persona)
 	}
-	return sshwire.NewServer(sshwire.ServerConfig{
-		Banner:           personality.profile.Banner,
-		Algorithms:       personality.profile.Algorithms,
-		HostKey:          personality.priv,
-		HandshakeTimeout: simHandshakeTimeout,
-	})
+	g.w.Truth.Fleets[persona.label] = append(g.w.Truth.Fleets[persona.label], id)
+	return &sshPlan{persona: persona}
 }
 
-// agentForOverlap builds the SNMPv3 agent of a multi-service router, with
+// planAgentOverlap resolves the SNMPv3 agent of a multi-service router, with
 // probability PCloneEngineID reusing a sibling's engine ID (cloned configs
 // ship duplicate engine IDs in the wild).
-func (g *generator) agentForOverlap(id string) *snmpv3.Agent {
+func (g *generator) planAgentOverlap(id string) snmpv3.AgentConfig {
 	if len(g.overlapEngines) > 0 && g.prob(id, "clone-eng") < g.cfg.PCloneEngineID {
 		eng := g.overlapEngines[g.intn(len(g.overlapEngines), id, "clone-eng-pick")]
-		return snmpv3.NewAgent(snmpv3.AgentConfig{
+		return snmpv3.AgentConfig{
 			EngineID:    eng,
 			EngineBoots: int64(1 + g.intn(40, id, "boots")),
 			BootTime:    g.w.Clock.Now().Add(-time.Duration(g.intn(10_000_000, id, "uptime")) * time.Second),
-		})
+		}
 	}
-	agent := g.agentFor(id)
-	eng := snmpv3.NewEngineID(uint32(2000+g.intn(8000, id, "vendor")), xrand.Hash64(g.sk(id, "engine")...))
-	g.overlapEngines = append(g.overlapEngines, eng)
-	return agent
-}
-
-// newDevice constructs and binds a device.
-func (g *generator) newDevice(id string, kind netsim.DeviceKind, addrs []netip.Addr,
-	addrASN map[netip.Addr]uint32, ipid ipidChoice, filtered []string, ownAS *AS) (*netsim.Device, error) {
-	d, err := netsim.NewDevice(netsim.DeviceConfig{
-		ID:           id,
-		ASN:          ownAS.ASN,
-		Kind:         kind,
-		Addrs:        addrs,
-		AddrASN:      addrASN,
-		IPID:         ipid.model,
-		IPIDVelocity: ipid.velocity,
-		IPIDSeed:     xrand.Hash64(g.sk(id, "ipid-seed")...),
-		Pingable:     ipid.pingable,
-		// Most devices defeat the common-source-address technique: they
-		// answer ICMP errors from the probed address or not at all — the
-		// paper's motivation for moving to application-layer identifiers.
-		RespondsFromProbed: g.prob(id, "icmp-same") < 0.80,
-		ICMPSilent:         g.prob(id, "icmp-silent") < 0.45,
-		// Few devices answer Speedtrap's fragment-eliciting probes at all;
-		// routers somewhat more often than hosts.
-		EmitsFragmentIDs: g.prob(id, "frag") < fragProb(kind),
-		FilteredVantages: filtered,
-	}, g.w.Clock.Now())
-	if err != nil {
-		return nil, err
-	}
-	if err := g.w.bind(d, ownAS); err != nil {
-		return nil, err
-	}
-	g.assignPTRNames(d, kind, ownAS)
-	return d, nil
+	cfg := g.planAgent(id)
+	g.overlapEngines = append(g.overlapEngines, cfg.EngineID)
+	return cfg
 }
 
 // assignPTRNames populates the world's reverse zone for a device: partial
@@ -409,9 +322,10 @@ func (g *generator) assignPTRNames(d *netsim.Device, kind netsim.DeviceKind, as 
 
 // --- populations ---
 
-// singleSSHServers: the dominant SSH population — one v4 address (sometimes
-// dual-stack, sometimes v6-only), one unique host key, no aliases.
-func (g *generator) singleSSHServers() error {
+// planSingleSSHServers: the dominant SSH population — one v4 address
+// (sometimes dual-stack, sometimes v6-only), one unique host key, no
+// aliases.
+func (g *generator) planSingleSSHServers() {
 	n := g.cfg.scaled(g.cfg.SingleSSHServers, 10)
 	for i := 0; i < n; i++ {
 		id := fmt.Sprintf("srv-%d", i)
@@ -424,24 +338,16 @@ func (g *generator) singleSSHServers() error {
 		if v6only || g.prob(id, "v6") < g.cfg.PServerV6 {
 			addrs = append(addrs, as.AllocV6())
 		}
-		d, err := g.newDevice(id, netsim.KindServer, addrs, nil,
+		p := g.planDevice(id, netsim.KindServer, addrs, nil,
 			g.ipidForServer(id),
 			g.filteredVantages(id, g.cfg.PCloudFiltersActive, g.cfg.PCloudMissedByCensys), as)
-		if err != nil {
-			return err
-		}
 		if g.prob(id, "broken") < g.cfg.PBrokenSSH {
-			// Misbehaving daemon: speaks garbage on port 22. It stays out
-			// of the ground truth — a scanner should learn nothing here.
-			d.SetService(22, brokenSSHHandler{})
+			p.brokenSSH = true
 		} else {
-			g.addSSH(d, g.sshServer(id, false, addrs))
-			if !v6only && len(addrs) == 1 {
-				g.w.churnable = append(g.w.churnable, churnRecord{deviceID: id, addr: addrs[0]})
-			}
+			p.ssh = g.planSSH(id, false, addrs)
+			p.churnable = !v6only && len(addrs) == 1
 		}
 	}
-	return nil
 }
 
 // replacementServer stands up a fresh single server on a churned address.
@@ -461,7 +367,9 @@ func (g *generator) replacementServer(id string, addr netip.Addr) error {
 	if err := g.w.Fabric.AddDevice(d); err != nil {
 		return err
 	}
-	g.addSSH(d, g.sshServer(id, false, []netip.Addr{addr}))
+	sp := g.planSSH(id, false, []netip.Addr{addr})
+	d.SetService(22, g.buildSSHServer(sp, g.hostKey(sp.persona.keyLabel)))
+	g.w.Truth.SSHAddrs[d.ID()] = d.ServiceAddrs(22)
 	return nil
 }
 
@@ -481,9 +389,9 @@ func (g *generator) multiSSHSize(id string) int {
 	}
 }
 
-// multiSSHHosts: hosts with several SSH-responsive addresses — the source of
-// every SSH alias set.
-func (g *generator) multiSSHHosts() error {
+// planMultiSSHHosts: hosts with several SSH-responsive addresses — the
+// source of every SSH alias set.
+func (g *generator) planMultiSSHHosts() {
 	n := g.cfg.scaled(g.cfg.MultiSSHHosts, 4)
 	for i := 0; i < n; i++ {
 		id := fmt.Sprintf("mssh-%d", i)
@@ -520,57 +428,46 @@ func (g *generator) multiSSHHosts() error {
 		case rv6 < g.cfg.PMultiSSHManyV6+g.cfg.PMultiSSHOneV6:
 			addrs = append(addrs, as.AllocV6())
 		}
-		d, err := g.newDevice(id, netsim.KindServer, addrs, addrASN,
+		p := g.planDevice(id, netsim.KindServer, addrs, addrASN,
 			g.ipidForServer(id),
 			g.filteredVantages(id, g.cfg.PCloudFiltersActive, g.cfg.PCloudMissedByCensys), as)
-		if err != nil {
-			return err
-		}
-		var acl []netip.Addr
+		p.ssh = g.planSSH(id, false, addrs)
 		if g.prob(id, "acl") < g.cfg.PSSHAcl && len(addrs) >= 3 {
-			acl = addrs[:len(addrs)*2/3]
+			p.ssh.acl = addrs[:len(addrs)*2/3]
 		}
-		g.addSSH(d, g.sshServer(id, false, addrs), acl...)
 	}
-	return nil
 }
 
-// snmpSingles: CPE-class devices with one SNMPv3-responsive address, plus
-// the IPv6-only singles population.
-func (g *generator) snmpSingles() error {
+// planSNMPSingles: CPE-class devices with one SNMPv3-responsive address,
+// plus the IPv6-only singles population.
+func (g *generator) planSNMPSingles() {
 	n := g.cfg.scaled(g.cfg.SNMPSingleDevices, 10)
 	for i := 0; i < n; i++ {
 		id := fmt.Sprintf("cpe-%d", i)
 		as := pickAS(g.w.ASes, KindISP, g.sk(id, "as")...)
 		addrs := []netip.Addr{as.AllocV4()}
-		d, err := g.newDevice(id, netsim.KindRouter, addrs, nil, g.ipidForRouter(id), nil, as)
-		if err != nil {
-			return err
-		}
-		g.addSNMP(d, g.agentFor(id))
+		p := g.planDevice(id, netsim.KindRouter, addrs, nil, g.ipidForRouter(id), nil, as)
+		p.snmp = &snmpPlan{cfg: g.planAgent(id)}
 	}
 	n6 := g.cfg.scaled(g.cfg.SNMPV6OnlySingles, 2)
 	for i := 0; i < n6; i++ {
 		id := fmt.Sprintf("cpe6-%d", i)
 		as := pickAS(g.w.ASes, KindISP, g.sk(id, "as")...)
 		addrs := []netip.Addr{as.AllocV6()}
-		d, err := g.newDevice(id, netsim.KindRouter, addrs, nil, g.ipidForRouter(id), nil, as)
-		if err != nil {
-			return err
-		}
-		g.addSNMP(d, g.agentFor(id))
+		p := g.planDevice(id, netsim.KindRouter, addrs, nil, g.ipidForRouter(id), nil, as)
+		p.snmp = &snmpPlan{cfg: g.planAgent(id)}
 	}
-	return nil
 }
 
-// agentFor builds the device's SNMPv3 agent with a unique engine ID.
-func (g *generator) agentFor(id string) *snmpv3.Agent {
+// planAgent resolves the device's SNMPv3 agent configuration with a unique
+// engine ID.
+func (g *generator) planAgent(id string) snmpv3.AgentConfig {
 	enterprise := uint32(2000 + g.intn(8000, id, "vendor"))
-	return snmpv3.NewAgent(snmpv3.AgentConfig{
+	return snmpv3.AgentConfig{
 		EngineID:    snmpv3.NewEngineID(enterprise, xrand.Hash64(g.sk(id, "engine")...)),
 		EngineBoots: int64(1 + g.intn(40, id, "boots")),
 		BootTime:    g.w.Clock.Now().Add(-time.Duration(g.intn(10_000_000, id, "uptime")) * time.Second),
-	})
+	}
 }
 
 // snmpRouterSize draws interface counts for SNMP routers: fewer two-address
@@ -589,10 +486,10 @@ func (g *generator) snmpRouterSize(id string) int {
 	}
 }
 
-// snmpRouters: multi-interface routers answering SNMPv3 on (most of) their
-// interfaces; a small fraction co-host SSH — the SSH↔SNMPv3 validation
-// population.
-func (g *generator) snmpRouters() error {
+// planSNMPRouters: multi-interface routers answering SNMPv3 on (most of)
+// their interfaces; a small fraction co-host SSH — the SSH↔SNMPv3
+// validation population.
+func (g *generator) planSNMPRouters() {
 	n := g.cfg.scaled(g.cfg.SNMPRouters, 4)
 	for i := 0; i < n; i++ {
 		id := fmt.Sprintf("rtr-%d", i)
@@ -629,24 +526,25 @@ func (g *generator) snmpRouters() error {
 				addrs = append(addrs, as.AllocV6())
 			}
 		}
-		d, err := g.newDevice(id, netsim.KindRouter, addrs, addrASN, g.ipidForRouter(id), nil, as)
-		if err != nil {
-			return err
-		}
+		p := g.planDevice(id, netsim.KindRouter, addrs, addrASN, g.ipidForRouter(id), nil, as)
 		var acl []netip.Addr
 		if g.prob(id, "acl") < g.cfg.PSNMPAcl && len(addrs) >= 3 {
 			acl = addrs[:len(addrs)*3/5]
 		}
-		g.addSNMP(d, g.agentFor(id), acl...)
+		p.snmp = &snmpPlan{cfg: g.planAgent(id), acl: acl}
 		if g.prob(id, "ssh") < g.cfg.PSNMPRouterSSH {
 			// SSH on the same interfaces SNMP answers on, so the two
 			// techniques see the same alias structure (§2.6). The overlap
 			// personality may be a clone — the validation-disagreement
 			// population.
-			g.addSSH(d, g.sshServerOverlap(id), d.UDPServiceAddrs(snmpv3.Port)...)
+			snmpAddrs := acl
+			if len(snmpAddrs) == 0 {
+				snmpAddrs = addrs
+			}
+			p.ssh = g.planSSHOverlap(id)
+			p.ssh.acl = snmpAddrs
 		}
 	}
-	return nil
 }
 
 // bgpMultiSize draws responsive-interface counts for identifiable BGP
@@ -665,8 +563,10 @@ func (g *generator) bgpMultiSize(id string) int {
 	}
 }
 
-// speakerFor builds the device's BGP personality.
-func (g *generator) speakerFor(id string, as *AS, firstAddr netip.Addr, hasV6 bool, behavior bgp.Behavior) *bgp.Speaker {
+// planSpeaker resolves the device's BGP personality. The router-ID registry
+// (duplicate-ID misconfigurations clone earlier routers) makes this
+// planning-phase state.
+func (g *generator) planSpeaker(id string, as *AS, firstAddr netip.Addr, hasV6 bool, behavior bgp.Behavior) *bgpPlan {
 	routerID := addrToU32(firstAddr)
 	if len(g.bgpIDs) > 0 && g.prob(id, "dup-id") < g.cfg.PDuplicateBGPID {
 		routerID = g.bgpIDs[g.intn(len(g.bgpIDs), id, "dup-pick")]
@@ -676,7 +576,7 @@ func (g *generator) speakerFor(id string, as *AS, firstAddr netip.Addr, hasV6 bo
 	if g.prob(id, "hold") < 0.3 {
 		hold = 180
 	}
-	return bgp.NewSpeaker(bgp.SpeakerConfig{
+	return &bgpPlan{cfg: bgp.SpeakerConfig{
 		ASN:                   as.ASN,
 		RouterID:              routerID,
 		HoldTime:              hold,
@@ -684,7 +584,13 @@ func (g *generator) speakerFor(id string, as *AS, firstAddr netip.Addr, hasV6 bo
 		CiscoRouteRefresh:     g.prob(id, "cisco") < 0.6,
 		MPIPv6:                hasV6,
 		OneParamPerCapability: g.prob(id, "pack") < 0.6,
-	})
+	}}
+}
+
+// attachBGP sets a device plan's speaker and truth eligibility.
+func (p *devicePlan) attachBGP(bp *bgpPlan) {
+	p.bgp = bp
+	p.bgpTruth = bp.cfg.Behavior != bgp.BehaviorSilentClose
 }
 
 // addrToU32 renders an IPv4 address as the router-ID integer; IPv6-only
@@ -697,8 +603,8 @@ func addrToU32(a netip.Addr) uint32 {
 	return uint32(xrand.Hash64Bytes(a.AsSlice()))
 }
 
-// bgpPopulations generates all four BGP speaker classes.
-func (g *generator) bgpPopulations() error {
+// planBGPPopulations plans all four BGP speaker classes.
+func (g *generator) planBGPPopulations() {
 	// Silent speakers: SYN-responsive on 179, zero identifier yield.
 	for i := 0; i < g.cfg.scaled(g.cfg.BGPSilent, 5); i++ {
 		id := fmt.Sprintf("bgps-%d", i)
@@ -707,11 +613,8 @@ func (g *generator) bgpPopulations() error {
 		if g.prob(id, "second") < 0.2 {
 			addrs = append(addrs, as.AllocV4())
 		}
-		d, err := g.newDevice(id, netsim.KindRouter, addrs, nil, g.ipidForRouter(id), nil, as)
-		if err != nil {
-			return err
-		}
-		g.addBGP(d, g.speakerFor(id, as, addrs[0], false, bgp.BehaviorSilentClose))
+		p := g.planDevice(id, netsim.KindRouter, addrs, nil, g.ipidForRouter(id), nil, as)
+		p.attachBGP(g.planSpeaker(id, as, addrs[0], false, bgp.BehaviorSilentClose))
 	}
 
 	// Single-address identifiable speakers.
@@ -719,12 +622,9 @@ func (g *generator) bgpPopulations() error {
 		id := fmt.Sprintf("bgp1-%d", i)
 		as := pickAS(g.w.ASes, KindISP, g.sk(id, "as")...)
 		addrs := []netip.Addr{as.AllocV4()}
-		d, err := g.newDevice(id, netsim.KindRouter, addrs, nil, g.ipidForRouter(id),
+		p := g.planDevice(id, netsim.KindRouter, addrs, nil, g.ipidForRouter(id),
 			g.filteredVantages(id, g.cfg.PBGPFiltersActive, g.cfg.PBGPMissedByCensys), as)
-		if err != nil {
-			return err
-		}
-		g.addBGP(d, g.speakerFor(id, as, addrs[0], false, bgp.BehaviorOpenNotify))
+		p.attachBGP(g.planSpeaker(id, as, addrs[0], false, bgp.BehaviorOpenNotify))
 	}
 
 	// Multi-interface identifiable border routers.
@@ -753,20 +653,17 @@ func (g *generator) bgpPopulations() error {
 				addrs = append(addrs, as.AllocV6())
 			}
 		}
-		d, err := g.newDevice(id, netsim.KindRouter, addrs, addrASN, g.ipidForRouter(id),
+		p := g.planDevice(id, netsim.KindRouter, addrs, addrASN, g.ipidForRouter(id),
 			g.filteredVantages(id, g.cfg.PBGPFiltersActive, g.cfg.PBGPMissedByCensys), as)
-		if err != nil {
-			return err
-		}
-		g.addBGP(d, g.speakerFor(id, as, addrs[0], hasV6, bgp.BehaviorOpenNotify))
+		p.attachBGP(g.planSpeaker(id, as, addrs[0], hasV6, bgp.BehaviorOpenNotify))
 		if g.prob(id, "snmp") < g.cfg.PBGPRouterSNMP {
 			// Plain agent: at this scale the paper's ~5% BGP↔SNMPv3
 			// disagreement rounds to zero expected sets, so the clone
 			// mechanism is reserved for the larger SSH↔SNMPv3 overlap.
-			g.addSNMP(d, g.agentFor(id))
+			p.snmp = &snmpPlan{cfg: g.planAgent(id)}
 		}
 		if g.prob(id, "ssh") < g.cfg.PBGPRouterSSH {
-			g.addSSH(d, g.sshServerOverlap(id))
+			p.ssh = g.planSSHOverlap(id)
 		}
 	}
 
@@ -778,23 +675,16 @@ func (g *generator) bgpPopulations() error {
 		for j := 0; j < 2+g.intn(9, id, "v6n"); j++ {
 			addrs = append(addrs, as.AllocV6())
 		}
-		d, err := g.newDevice(id, netsim.KindRouter, addrs, nil, g.ipidForRouter(id), nil, as)
-		if err != nil {
-			return err
-		}
-		g.addBGP(d, g.speakerFor(id, as, addrs[0], true, bgp.BehaviorOpenNotify))
+		p := g.planDevice(id, netsim.KindRouter, addrs, nil, g.ipidForRouter(id), nil, as)
+		p.attachBGP(g.planSpeaker(id, as, addrs[0], true, bgp.BehaviorOpenNotify))
 	}
 	for i := 0; i < g.cfg.scaled(g.cfg.BGPV6OnlySingles, 2); i++ {
 		id := fmt.Sprintf("bgp61-%d", i)
 		as := pickAS(g.w.ASes, KindISP, g.sk(id, "as")...)
 		addrs := []netip.Addr{as.AllocV6()}
-		d, err := g.newDevice(id, netsim.KindRouter, addrs, nil, g.ipidForRouter(id), nil, as)
-		if err != nil {
-			return err
-		}
-		g.addBGP(d, g.speakerFor(id, as, addrs[0], true, bgp.BehaviorOpenNotify))
+		p := g.planDevice(id, netsim.KindRouter, addrs, nil, g.ipidForRouter(id), nil, as)
+		p.attachBGP(g.planSpeaker(id, as, addrs[0], true, bgp.BehaviorOpenNotify))
 	}
-	return nil
 }
 
 // fragProb is the probability a device answers fragment-eliciting probes.

@@ -1,0 +1,66 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBuildParallelDeterministic asserts the plan/build/commit pipeline's
+// central contract: worlds are byte-identical at every BuildWorkers setting.
+// Two seeds, sequential (1 worker) versus heavily sharded (8 workers).
+func TestBuildParallelDeterministic(t *testing.T) {
+	for _, seed := range []uint64{3, 9} {
+		cfg := Default()
+		cfg.Scale = 0.05
+		cfg.Seed = seed
+
+		seq := cfg
+		seq.BuildWorkers = 1
+		par := cfg
+		par.BuildWorkers = 8
+
+		a, err := Build(seq)
+		if err != nil {
+			t.Fatalf("seed %d sequential Build: %v", seed, err)
+		}
+		b, err := Build(par)
+		if err != nil {
+			t.Fatalf("seed %d parallel Build: %v", seed, err)
+		}
+
+		if !reflect.DeepEqual(a.V4Universe(), b.V4Universe()) {
+			t.Errorf("seed %d: v4 universes differ (%d vs %d addrs)",
+				seed, len(a.V4Universe()), len(b.V4Universe()))
+		}
+		if !reflect.DeepEqual(a.V6Bound(), b.V6Bound()) {
+			t.Errorf("seed %d: v6 universes differ", seed)
+		}
+		if !reflect.DeepEqual(a.AddrASN, b.AddrASN) {
+			t.Errorf("seed %d: AddrASN maps differ", seed)
+		}
+		if !reflect.DeepEqual(a.PTR, b.PTR) {
+			t.Errorf("seed %d: PTR registries differ", seed)
+		}
+		if !reflect.DeepEqual(a.Truth.SSHAddrs, b.Truth.SSHAddrs) {
+			t.Errorf("seed %d: SSH ground truth differs", seed)
+		}
+		if !reflect.DeepEqual(a.Truth.BGPAddrs, b.Truth.BGPAddrs) {
+			t.Errorf("seed %d: BGP ground truth differs", seed)
+		}
+		if !reflect.DeepEqual(a.Truth.SNMPAddrs, b.Truth.SNMPAddrs) {
+			t.Errorf("seed %d: SNMP ground truth differs", seed)
+		}
+		if !reflect.DeepEqual(a.Truth.Fleets, b.Truth.Fleets) {
+			t.Errorf("seed %d: fleet ground truth differs", seed)
+		}
+		if a.Fabric.NumDevices() != b.Fabric.NumDevices() {
+			t.Errorf("seed %d: device counts differ: %d vs %d",
+				seed, a.Fabric.NumDevices(), b.Fabric.NumDevices())
+		}
+		// Churn must also replay identically: it walks the committed churn
+		// records in order.
+		if na, nb := a.ApplyChurn(0.10, 1), b.ApplyChurn(0.10, 1); na != nb {
+			t.Errorf("seed %d: churn reassigned %d vs %d addresses", seed, na, nb)
+		}
+	}
+}

@@ -124,7 +124,7 @@ func Build(cfg Config) (*World, error) {
 			Fleets:    make(map[string][]string),
 		},
 	}
-	g := &generator{w: w, cfg: cfg, fleets: make(map[string]*fleetKey)}
+	g := &generator{w: w, cfg: cfg, fleets: make(map[string]*sshPersona)}
 	if err := g.run(); err != nil {
 		return nil, err
 	}
@@ -166,7 +166,7 @@ func (w *World) ApplyChurn(frac float64, round int) int {
 			continue // already churned in an earlier round
 		}
 		w.Fabric.Unbind(c.addr)
-		g := &generator{w: w, cfg: w.Cfg, fleets: make(map[string]*fleetKey)}
+		g := &generator{w: w, cfg: w.Cfg, fleets: make(map[string]*sshPersona)}
 		id := fmt.Sprintf("%s-churn%d", c.deviceID, round)
 		if err := g.replacementServer(id, c.addr); err != nil {
 			// Allocation cannot fail for a replacement (address reused);
