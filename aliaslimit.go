@@ -33,6 +33,7 @@ import (
 	"aliaslimit/internal/experiments"
 	"aliaslimit/internal/ident"
 	"aliaslimit/internal/midar"
+	"aliaslimit/internal/scenario"
 	"aliaslimit/internal/speedtrap"
 	"aliaslimit/internal/topo"
 )
@@ -272,6 +273,35 @@ type Stats struct {
 	DualStackSets int
 	// Devices is the number of simulated devices.
 	Devices int
+}
+
+// Scenario engine. The paper evaluates one Internet; the scenario presets
+// open the workload axis: adversarial worlds (packet loss, probe rate
+// limiting, shared-key farms, disabled SNMP, hostile IPID policies, churn
+// storms, IPv6-dominant and full-scale populations) that each run the
+// identical collect→resolve→validate pipeline and score it against the
+// simulator's ground truth. The types are aliases of internal/scenario so
+// callers get the full structured result.
+type (
+	// ScenarioOptions parameterise RunScenario.
+	ScenarioOptions = scenario.Options
+	// ScenarioResult is one scenario's ground-truth scorecard.
+	ScenarioResult = scenario.Result
+	// ScenarioReport is the mergeable SCENARIOS.json document.
+	ScenarioReport = scenario.Report
+)
+
+// ScenarioNames lists the preset catalog in canonical order.
+func ScenarioNames() []string { return scenario.Names() }
+
+// RunScenario builds the named preset's world, runs the full measurement and
+// inference pipeline on it, and returns per-protocol precision / recall /
+// coverage against the simulation's ground-truth alias sets. Results are
+// deterministic for a fixed (name, options) — including under fault
+// injection, whose drop draws are quenched per wire rather than rolled in
+// execution order.
+func RunScenario(name string, opts ScenarioOptions) (*ScenarioResult, error) {
+	return scenario.Run(name, opts)
 }
 
 // Stats computes the summary from the env's cached views; after the first

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The bench-regression gate: CI regenerates BENCH_analysis.json on every
+// push and compares it against the committed BENCH_baseline.json. Any
+// hot-path entry that got slower by more than -maxregress (and by more than
+// an absolute noise floor) fails the job.
+
+// minRegressDeltaNs is the absolute noise floor: entries whose slowdown is
+// under a quarter millisecond never fail the gate, however large the ratio —
+// micro-entries jitter far more than 30% between runs and machines.
+const minRegressDeltaNs = 250_000
+
+// regression is one entry that got slower past the gate's threshold.
+type regression struct {
+	name           string
+	baseNs, currNs float64
+}
+
+// ratio is the slowdown factor (current over baseline).
+func (r regression) ratio() float64 { return r.currNs / r.baseNs }
+
+// compareReports returns the entries of curr that regressed against base by
+// more than maxRegress (a fraction: 0.30 fails anything >1.3× slower) and
+// past the absolute noise floor. Entries present on only one side are
+// ignored — adding or retiring a measurement must not break the gate.
+func compareReports(base, curr benchReport, maxRegress float64) []regression {
+	baseNs := make(map[string]float64, len(base.Results))
+	for _, e := range base.Results {
+		if e.NsPerOp > 0 {
+			baseNs[e.Name] = e.NsPerOp
+		}
+	}
+	var regs []regression
+	for _, e := range curr.Results {
+		b, ok := baseNs[e.Name]
+		if !ok {
+			continue
+		}
+		if e.NsPerOp > b*(1+maxRegress) && e.NsPerOp-b > minRegressDeltaNs {
+			regs = append(regs, regression{name: e.Name, baseNs: b, currNs: e.NsPerOp})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].ratio() > regs[j].ratio() })
+	return regs
+}
+
+// readBenchReport loads one BENCH_*.json file.
+func readBenchReport(path string) (benchReport, error) {
+	var rep benchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("%s: no measurements", path)
+	}
+	return rep, nil
+}
+
+// runCompare is the gate's CLI body: load both reports, print the verdict,
+// and return an error (non-zero exit) when anything regressed.
+func runCompare(basePath, currPath string, maxRegress float64, stdout io.Writer) error {
+	if maxRegress <= 0 {
+		return fmt.Errorf("-maxregress must be positive, got %v", maxRegress)
+	}
+	base, err := readBenchReport(basePath)
+	if err != nil {
+		return err
+	}
+	curr, err := readBenchReport(currPath)
+	if err != nil {
+		return err
+	}
+	// Same-workload guard: comparing different scales or seeds would
+	// produce a confidently wrong verdict (every entry ~linearly off).
+	if base.Scale != curr.Scale || base.Seed != curr.Seed {
+		return fmt.Errorf("workload mismatch: %s is scale=%v seed=%d, %s is scale=%v seed=%d — regenerate the baseline at the gate's workload",
+			basePath, base.Scale, base.Seed, currPath, curr.Scale, curr.Seed)
+	}
+	regs := compareReports(base, curr, maxRegress)
+	if len(regs) == 0 {
+		fmt.Fprintf(stdout, "bench gate: OK — no entry of %s regressed >%.0f%% vs %s\n",
+			currPath, maxRegress*100, basePath)
+		return nil
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d hot path(s) regressed >%.0f%% vs %s:", len(regs), maxRegress*100, basePath)
+	for _, r := range regs {
+		fmt.Fprintf(&sb, "\n  %-24s %.2fx slower (%.3fms -> %.3fms)",
+			r.name, r.ratio(), r.baseNs/1e6, r.currNs/1e6)
+	}
+	return fmt.Errorf("%s", sb.String())
+}

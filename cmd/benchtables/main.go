@@ -7,6 +7,11 @@
 //	benchtables -scale 1 -seed 3     # full calibrated scale
 //	benchtables -table 3             # one table
 //	benchtables -figure 5            # one figure
+//
+// It also hosts the CI bench-regression gate:
+//
+//	benchtables -benchjson BENCH_analysis.json
+//	benchtables -compare BENCH_baseline.json -against BENCH_analysis.json
 package main
 
 import (
@@ -50,11 +55,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	figure := fs.String("figure", "", "regenerate a single figure (3-6)")
 	extensions := fs.Bool("extensions", false, "also run the future-work extension experiments")
 	benchJSON := fs.String("benchjson", "", "measure the analysis hot paths and write BENCH_analysis.json to this path (- for stdout)")
+	compare := fs.String("compare", "", "bench-regression gate: baseline BENCH_*.json to compare -against")
+	against := fs.String("against", "", "current BENCH_*.json for the -compare gate")
+	maxRegress := fs.Float64("maxregress", 0.30, "fail -compare when any entry is this fraction slower")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
 		}
 		return errBadFlags
+	}
+
+	if *compare != "" || *against != "" {
+		if *compare == "" || *against == "" {
+			fmt.Fprintln(stderr, "benchtables: -compare and -against must be used together")
+			return errBadFlags
+		}
+		return runCompare(*compare, *against, *maxRegress, stdout)
 	}
 
 	if *benchJSON != "" {

@@ -1,0 +1,169 @@
+// Command scenarios runs the adversarial-world presets and scores the
+// inference pipeline against the simulator's ground truth.
+//
+// Usage:
+//
+//	scenarios -list                          # the preset catalog
+//	scenarios -run baseline                  # one scenario, text scorecard
+//	scenarios -run all -quick -json SCENARIOS.json
+//	scenarios -merge 'SCENARIOS-*.json' -json SCENARIOS.json
+//
+// The CI scenario-matrix job runs every preset with -quick -json and merges
+// the per-preset files into the SCENARIOS.json artifact with -merge.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"aliaslimit/internal/scenario"
+)
+
+// errBadFlags marks argument errors the flag package has already reported;
+// main maps it to the conventional usage exit code 2.
+var errBadFlags = errors.New("bad arguments")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+	case errors.Is(err, errBadFlags):
+		os.Exit(2)
+	default:
+		fmt.Fprintf(os.Stderr, "scenarios: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("scenarios", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the scenario catalog and exit")
+	runName := fs.String("run", "", "scenario to run: a preset name, or 'all'")
+	quick := fs.Bool("quick", false, "CI-sized worlds (each preset's quick scale)")
+	seed := fs.Uint64("seed", 0, "world seed (0 keeps the default)")
+	scale := fs.Float64("scale", 0, "world scale override (0 keeps the preset scale)")
+	workers := fs.Int("workers", 0, "scan concurrency (0 = default 256)")
+	parallelism := fs.Int("parallelism", 0, "concurrent protocol sweeps (0 = all at once)")
+	jsonPath := fs.String("json", "", "write the machine-readable report to this path (- for stdout)")
+	merge := fs.String("merge", "", "merge existing report files matching this glob instead of running")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errBadFlags
+	}
+
+	switch {
+	case *list:
+		return printCatalog(stdout)
+	case *merge != "":
+		return mergeReports(*merge, *jsonPath, stdout, stderr)
+	case *runName != "":
+		return runScenarios(*runName, scenario.Options{
+			Seed:        *seed,
+			Scale:       *scale,
+			Quick:       *quick,
+			Workers:     *workers,
+			Parallelism: *parallelism,
+		}, *jsonPath, stdout, stderr)
+	default:
+		fmt.Fprintln(stderr, "scenarios: one of -list, -run, or -merge is required")
+		fs.Usage()
+		return errBadFlags
+	}
+}
+
+// printCatalog lists every preset with its catalog line.
+func printCatalog(w io.Writer) error {
+	for _, p := range scenario.Presets() {
+		fmt.Fprintf(w, "%-12s %s\n", p.Name, p.Summary)
+	}
+	return nil
+}
+
+// runScenarios executes one preset or the whole catalog and emits the
+// scorecards as text or as a JSON report.
+func runScenarios(name string, opts scenario.Options, jsonPath string, stdout, stderr io.Writer) error {
+	names := []string{name}
+	if name == "all" {
+		names = scenario.Names()
+	}
+	rep := &scenario.Report{}
+	for _, n := range names {
+		start := time.Now()
+		res, err := scenario.Run(n, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "scenarios: %s done in %v\n", n, time.Since(start).Round(time.Millisecond))
+		rep.Scenarios = append(rep.Scenarios, res)
+	}
+	if jsonPath == "" {
+		for _, r := range rep.Scenarios {
+			fmt.Fprintln(stdout, r.RenderText())
+		}
+		return nil
+	}
+	return writeReport(rep, jsonPath, stdout, stderr)
+}
+
+// mergeReports combines per-scenario report files (as the CI matrix produces)
+// into one canonical report.
+func mergeReports(glob, jsonPath string, stdout, stderr io.Writer) error {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return fmt.Errorf("bad -merge pattern %q: %w", glob, err)
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("-merge %q matched no files", glob)
+	}
+	sort.Strings(paths)
+	merged := &scenario.Report{}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		rep, err := scenario.ParseReport(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		merged = scenario.Merge(merged, rep)
+	}
+	fmt.Fprintf(stderr, "scenarios: merged %d files (%d scenarios)\n", len(paths), len(merged.Scenarios))
+	if jsonPath == "" {
+		jsonPath = "-"
+	}
+	return writeReport(merged, jsonPath, stdout, stderr)
+}
+
+// writeReport marshals the report to path ("-" for stdout).
+func writeReport(rep *scenario.Report, path string, stdout, stderr io.Writer) error {
+	data, err := rep.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	var names []string
+	for _, r := range rep.Scenarios {
+		names = append(names, r.Scenario)
+	}
+	fmt.Fprintf(stderr, "scenarios: wrote %s (%s)\n", path, strings.Join(names, ", "))
+	return nil
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aliaslimit/internal/scenario"
+)
+
+// TestRunList checks that every catalog preset appears in -list.
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-list"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -list: %v (stderr: %s)", err, stderr.String())
+	}
+	for _, name := range scenario.Names() {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing preset %q:\n%s", name, stdout.String())
+		}
+	}
+	if n := len(scenario.Names()); n < 8 {
+		t.Fatalf("catalog lists %d presets, want >= 8", n)
+	}
+}
+
+// TestRunScenarioText runs one tiny scenario and checks the scorecard.
+func TestRunScenarioText(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-run", "baseline", "-scale", "0.05", "-workers", "32"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	for _, want := range []string{"scenario baseline", "precision", "SSH", "midar:"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("scorecard missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+// TestRunScenarioJSONDeterministic runs one scenario twice and requires
+// byte-identical reports — the SCENARIOS.json contract.
+func TestRunScenarioJSONDeterministic(t *testing.T) {
+	emit := func() string {
+		var stdout, stderr bytes.Buffer
+		err := run([]string{"-run", "lossy", "-scale", "0.05", "-workers", "32", "-json", "-"},
+			&stdout, &stderr)
+		if err != nil {
+			t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+		}
+		return stdout.String()
+	}
+	a, b := emit(), emit()
+	if a != b {
+		t.Fatalf("reports differ between identical runs:\n%s\n---\n%s", a, b)
+	}
+	rep, err := scenario.ParseReport([]byte(a))
+	if err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if len(rep.Scenarios) != 1 || rep.Scenarios[0].Scenario != "lossy" {
+		t.Fatalf("unexpected report shape: %+v", rep.Scenarios)
+	}
+	if len(rep.Scenarios[0].Protocols) != 3 {
+		t.Fatalf("want 3 protocol scores, got %d", len(rep.Scenarios[0].Protocols))
+	}
+}
+
+// TestMerge merges two single-scenario files and checks canonical order.
+func TestMerge(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"lossy", "baseline"} {
+		var stdout, stderr bytes.Buffer
+		err := run([]string{"-run", name, "-scale", "0.05", "-workers", "32",
+			"-json", filepath.Join(dir, "SCENARIOS-"+name+".json")}, &stdout, &stderr)
+		if err != nil {
+			t.Fatalf("run %s: %v", name, err)
+		}
+	}
+	out := filepath.Join(dir, "SCENARIOS.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-merge", filepath.Join(dir, "SCENARIOS-*.json"), "-json", out},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatalf("merge: %v (stderr: %s)", err, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := scenario.ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 2 {
+		t.Fatalf("merged %d scenarios, want 2", len(rep.Scenarios))
+	}
+	if rep.Scenarios[0].Scenario != "baseline" || rep.Scenarios[1].Scenario != "lossy" {
+		t.Fatalf("merge order not canonical: %s, %s",
+			rep.Scenarios[0].Scenario, rep.Scenarios[1].Scenario)
+	}
+}
+
+// TestCIMatrixCoversCatalog pins the GitHub Actions scenario matrix to the
+// preset catalog: adding a preset without adding it to the CI matrix (or
+// vice versa) fails here instead of silently shrinking coverage.
+func TestCIMatrixCoversCatalog(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", ".github", "workflows", "ci.yml"))
+	if err != nil {
+		t.Skipf("ci.yml not readable: %v", err)
+	}
+	text := string(data)
+	if !strings.Contains(text, "scenario-matrix:") {
+		t.Fatal("ci.yml has no scenario-matrix job")
+	}
+	for _, name := range scenario.Names() {
+		if !strings.Contains(text, "- "+name) {
+			t.Errorf("preset %q missing from the ci.yml scenario matrix", name)
+		}
+	}
+}
+
+// TestBadArguments covers the error paths.
+func TestBadArguments(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-run", "no-such-world", "-scale", "0.05"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if err := run(nil, &stdout, &stderr); !errors.Is(err, errBadFlags) {
+		t.Fatalf("no mode: want errBadFlags, got %v", err)
+	}
+	if err := run([]string{"-merge", filepath.Join(t.TempDir(), "nope-*.json")}, &stdout, &stderr); err == nil {
+		t.Fatal("empty merge glob accepted")
+	}
+	if err := run([]string{"-h"}, &stdout, &stderr); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h: want flag.ErrHelp, got %v", err)
+	}
+}

@@ -1,0 +1,26 @@
+package aliaslimit_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"aliaslimit"
+)
+
+// ExampleScenarioNames shows the head of the scenario catalog.
+func ExampleScenarioNames() {
+	fmt.Println(strings.Join(aliaslimit.ScenarioNames()[:3], ", "))
+	// Output: baseline, ipv6-heavy, lossy
+}
+
+// ExampleRunScenario runs the baseline preset on a tiny world and shows the
+// shape of the ground-truth scorecard.
+func ExampleRunScenario() {
+	res, err := aliaslimit.RunScenario("baseline", aliaslimit.ScenarioOptions{Scale: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s scored %d protocols against ground truth\n", res.Scenario, len(res.Protocols))
+	// Output: baseline scored 3 protocols against ground truth
+}

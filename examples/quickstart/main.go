@@ -2,9 +2,11 @@
 // vantage points, and print the paper's headline results.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -scale 0.05    # tiny smoke-test world
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,8 +14,11 @@ import (
 )
 
 func main() {
-	// Scale 0.1 builds a ~6k-address world in well under a second.
-	study, err := aliaslimit.Run(aliaslimit.Options{Seed: 7, Scale: 0.1})
+	// Scale 0.1 builds a ~6k-address world in well under a second; the flag
+	// lets the examples smoke test run an even tinier one.
+	scale := flag.Float64("scale", 0.1, "world scale")
+	flag.Parse()
+	study, err := aliaslimit.Run(aliaslimit.Options{Seed: 7, Scale: *scale})
 	if err != nil {
 		log.Fatalf("quickstart: %v", err)
 	}

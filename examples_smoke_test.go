@@ -1,0 +1,87 @@
+package aliaslimit_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The examples are standalone main packages, so nothing exercises them in a
+// plain test run and they could rot silently. This smoke test compiles every
+// examples/* program and runs the quickstart end-to-end at a tiny scale.
+
+// goTool locates the go binary or skips the test (the suite must also pass
+// in environments that run a prebuilt test binary without a toolchain).
+func goTool(t *testing.T) string {
+	t.Helper()
+	path, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available:", err)
+	}
+	return path
+}
+
+// exampleDirs lists the example program directories.
+func exampleDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatalf("reading examples/: %v", err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no example programs found")
+	}
+	return dirs
+}
+
+// TestExamplesCompile builds every example program.
+func TestExamplesCompile(t *testing.T) {
+	gobin := goTool(t)
+	for _, dir := range exampleDirs(t) {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			cmd := exec.Command(gobin, "build", "-o", os.DevNull, "./examples/"+dir)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				t.Fatalf("building examples/%s: %v\n%s", dir, err, out)
+			}
+		})
+	}
+}
+
+// TestQuickstartRuns executes the quickstart example at a tiny scale and
+// checks it prints the headline lines.
+func TestQuickstartRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example execution in -short mode")
+	}
+	gobin := goTool(t)
+	cmd := exec.Command(gobin, "run", "./examples/quickstart", "-scale", "0.05")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("running quickstart: %v\n%s", err, out)
+	}
+	for _, want := range []string{"measured", "union alias sets", "Table 3"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("quickstart output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExamplesAreMainPackages guards the directory layout the smoke test
+// relies on: every examples/* dir holds exactly one main package file set.
+func TestExamplesAreMainPackages(t *testing.T) {
+	for _, dir := range exampleDirs(t) {
+		matches, err := filepath.Glob(filepath.Join("examples", dir, "*.go"))
+		if err != nil || len(matches) == 0 {
+			t.Errorf("examples/%s has no Go files (err=%v)", dir, err)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"aliaslimit/internal/netsim"
 	"aliaslimit/internal/topo"
 )
 
@@ -37,6 +38,11 @@ type Options struct {
 	// ChurnFraction is the share of dynamic addresses reassigned during
 	// the gap; negative disables churn, zero picks 2%.
 	ChurnFraction float64
+	// Faults is the fabric's adversarial-condition policy (per-wire loss,
+	// probe throttling, IPID overrides), installed after world generation
+	// and before either measurement campaign. The zero value injects
+	// nothing; see netsim.Faults for the determinism contract.
+	Faults netsim.Faults
 }
 
 // BuildEnv generates a world and measures it from both vantage points in
@@ -60,6 +66,7 @@ func BuildEnv(opts Options) (*Env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: building world: %w", err)
 	}
+	w.Fabric.SetFaults(opts.Faults)
 	censys, err := CollectCensys(w, opts.Scan)
 	if err != nil {
 		return nil, err

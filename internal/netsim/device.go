@@ -320,8 +320,9 @@ func (d *Device) handlerFor(vantage string, addr netip.Addr, port uint16) Handle
 }
 
 // sampleIPID answers an IPID probe against addr at the given time, or false
-// if the device does not respond to such probes.
-func (d *Device) sampleIPID(vantage string, addr netip.Addr, now time.Time) (uint16, bool) {
+// if the device does not respond to such probes. A non-nil policy overrides
+// the device's own IPID model (the fabric's fault-injection hook).
+func (d *Device) sampleIPID(vantage string, addr netip.Addr, now time.Time, policy *IPIDModel) (uint16, bool) {
 	if !d.pingable || d.filteredVantages[vantage] {
 		return 0, false
 	}
@@ -329,7 +330,11 @@ func (d *Device) sampleIPID(vantage string, addr netip.Addr, now time.Time) (uin
 	if !ok {
 		return 0, false
 	}
-	return d.ipid.sample(d.ipidModel, idx, now), true
+	model := d.ipidModel
+	if policy != nil {
+		model = *policy
+	}
+	return d.ipid.sample(model, idx, now), true
 }
 
 // icmpSource answers an iffinder-style UDP probe to a closed port: the

@@ -18,6 +18,7 @@ import (
 	"net/netip"
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // ProbeStatus classifies a TCP SYN probe outcome.
@@ -78,6 +79,9 @@ type Fabric struct {
 	// devices holds every device ever added, keyed by ID, including devices
 	// whose addresses are currently churned out.
 	devices map[string]*Device
+	// faults is the installed adversarial-condition policy (nil when
+	// fault-free, so hot probe paths pay one atomic load); see faults.go.
+	faults atomic.Pointer[Faults]
 }
 
 // New returns an empty fabric driven by clock.
@@ -205,6 +209,9 @@ func (v *Vantage) Label() string { return v.label }
 // SynProbe reports how a TCP SYN to addr:port from this vantage is answered.
 // This is the zmaplite fast path: no connection state is created.
 func (v *Vantage) SynProbe(addr netip.Addr, port uint16) ProbeStatus {
+	if v.faultDrop(faultSYN, addr, port) {
+		return StatusFiltered
+	}
 	d := v.fabric.Lookup(addr)
 	if d == nil {
 		return StatusFiltered
@@ -216,17 +223,23 @@ func (v *Vantage) SynProbe(addr netip.Addr, port uint16) ProbeStatus {
 // ICMP echo; MIDAR uses several probe methods, all of which sample the same
 // counter). ok is false when the target does not answer.
 func (v *Vantage) IPIDProbe(addr netip.Addr) (ipid uint16, ok bool) {
+	if v.faultDrop(faultICMP, addr, 0) {
+		return 0, false
+	}
 	d := v.fabric.Lookup(addr)
 	if d == nil {
 		return 0, false
 	}
-	return d.sampleIPID(v.label, addr, v.fabric.clock.Now())
+	return d.sampleIPID(v.label, addr, v.fabric.clock.Now(), v.ipidPolicy())
 }
 
 // UDPProbe sends a UDP datagram to a (presumed closed) port and reports the
 // source address of the resulting ICMP port-unreachable, if any. This is the
 // iffinder / common-source-address primitive.
 func (v *Vantage) UDPProbe(addr netip.Addr, port uint16) (from netip.Addr, ok bool) {
+	if v.faultDrop(faultUDP, addr, port) {
+		return netip.Addr{}, false
+	}
 	d := v.fabric.Lookup(addr)
 	if d == nil {
 		return netip.Addr{}, false
@@ -265,6 +278,13 @@ func (v *Vantage) DialContext(ctx context.Context, network, address string) (net
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+
+	// Per-wire loss also eats the packets of a would-be handshake; the
+	// throttle does not — rate limiters target probe floods, not the single
+	// follow-up connection.
+	if v.faultLost(faultDial, addr, port) {
+		return nil, opError("dial", address, ErrFiltered)
 	}
 
 	d := v.fabric.Lookup(addr)

@@ -1,0 +1,182 @@
+package netsim
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// faultWorld builds a fabric with n one-address devices serving TCP/22 and
+// answering IPID probes from a shared monotonic counter.
+func faultWorld(t *testing.T, n int) (*Fabric, []netip.Addr) {
+	t.Helper()
+	clock := NewSimClock(time.Date(2023, 3, 28, 0, 0, 0, 0, time.UTC))
+	f := New(clock)
+	addrs := make([]netip.Addr, 0, n)
+	for i := 0; i < n; i++ {
+		a := netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)})
+		d, err := NewDevice(DeviceConfig{
+			ID:    "d-" + a.String(),
+			Addrs: []netip.Addr{a},
+			IPID:  IPIDSharedMonotonic, IPIDSeed: uint64(i), Pingable: true,
+		}, clock.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.SetService(22, HandlerFunc(func(conn net.Conn, _ ServeContext) { conn.Close() }))
+		if err := f.AddDevice(d); err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	return f, addrs
+}
+
+// countOpen sweeps all addrs with SYN probes and counts the open ones.
+func countOpen(v *Vantage, addrs []netip.Addr) int {
+	open := 0
+	for _, a := range addrs {
+		if v.SynProbe(a, 22) == StatusOpen {
+			open++
+		}
+	}
+	return open
+}
+
+func TestFaultLossDropsAndIsDeterministic(t *testing.T) {
+	f, addrs := faultWorld(t, 400)
+	v := f.Vantage("active")
+
+	if got := countOpen(v, addrs); got != len(addrs) {
+		t.Fatalf("fault-free sweep: %d/%d open", got, len(addrs))
+	}
+
+	f.SetFaults(Faults{Seed: 7, LossRate: 0.25})
+	first := countOpen(v, addrs)
+	if first >= len(addrs) || first == 0 {
+		t.Fatalf("lossy sweep: %d/%d open, want a strict subset", first, len(addrs))
+	}
+	// Quenched randomness: the same wires lose the same probes every sweep.
+	for i := 0; i < 3; i++ {
+		if again := countOpen(v, addrs); again != first {
+			t.Fatalf("lossy sweep not deterministic: %d then %d", first, again)
+		}
+	}
+	// A different seed quenches a different loss pattern (overwhelmingly).
+	f.SetFaults(Faults{Seed: 8, LossRate: 0.25})
+	perAddr := func() []bool {
+		out := make([]bool, len(addrs))
+		for i, a := range addrs {
+			out[i] = v.SynProbe(a, 22) == StatusOpen
+		}
+		return out
+	}
+	f.SetFaults(Faults{Seed: 7, LossRate: 0.25})
+	p7 := perAddr()
+	f.SetFaults(Faults{Seed: 8, LossRate: 0.25})
+	p8 := perAddr()
+	same := true
+	for i := range p7 {
+		if p7[i] != p8[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("loss pattern identical across seeds")
+	}
+}
+
+func TestFaultThrottleSparesDials(t *testing.T) {
+	f, addrs := faultWorld(t, 300)
+	v := f.Vantage("active")
+	f.SetFaults(Faults{Seed: 3, ThrottleRate: 0.5})
+
+	// The throttle eats a fraction of the SYN flood…
+	open := countOpen(v, addrs)
+	if open >= len(addrs) || open == 0 {
+		t.Fatalf("throttled sweep: %d/%d open, want a strict subset", open, len(addrs))
+	}
+	// …and of the IPID probes…
+	answered := 0
+	for _, a := range addrs {
+		if _, ok := v.IPIDProbe(a); ok {
+			answered++
+		}
+	}
+	if answered >= len(addrs) || answered == 0 {
+		t.Fatalf("throttled IPID probes: %d/%d answered, want a strict subset", answered, len(addrs))
+	}
+	// …but never a follow-up service dial.
+	for _, a := range addrs {
+		conn, err := v.DialContext(context.Background(), "tcp", net.JoinHostPort(a.String(), "22"))
+		if err != nil {
+			t.Fatalf("dial %s under throttle: %v", a, err)
+		}
+		conn.Close()
+	}
+}
+
+func TestFaultIPIDPolicyOverride(t *testing.T) {
+	f, addrs := faultWorld(t, 1)
+	v := f.Vantage("active")
+	a := addrs[0]
+
+	// Native model: shared monotonic counter, consecutive samples increase
+	// by exactly one (the sim clock does not advance, so no velocity).
+	s1, _ := v.IPIDProbe(a)
+	s2, _ := v.IPIDProbe(a)
+	if s2 != s1+1 {
+		t.Fatalf("monotonic counter: %d then %d, want +1", s1, s2)
+	}
+
+	// Forced zero policy: every sample reads 0 without touching the device.
+	f.SetFaults(Faults{IPIDPolicy: IPIDPolicyOf(IPIDZero)})
+	if z, ok := v.IPIDProbe(a); !ok || z != 0 {
+		t.Fatalf("IPIDZero policy: got (%d, %v), want (0, true)", z, ok)
+	}
+
+	// Lifting the policy resumes the device's own counter.
+	f.SetFaults(Faults{})
+	s3, _ := v.IPIDProbe(a)
+	if s3 != s2+1 {
+		t.Fatalf("counter after policy lift: %d, want %d", s3, s2+1)
+	}
+}
+
+func TestFaultUDPAndFragPaths(t *testing.T) {
+	clock := NewSimClock(time.Date(2023, 3, 28, 0, 0, 0, 0, time.UTC))
+	f := New(clock)
+	v4 := netip.MustParseAddr("10.9.0.1")
+	v6 := netip.MustParseAddr("2001:db8::9")
+	d, err := NewDevice(DeviceConfig{
+		ID: "udp-frag", Addrs: []netip.Addr{v4, v6},
+		IPID: IPIDSharedMonotonic, Pingable: true, EmitsFragmentIDs: true,
+	}, clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetUDPService(161, func(req []byte, _ ServeContext) []byte { return []byte("ok") })
+	if err := f.AddDevice(d); err != nil {
+		t.Fatal(err)
+	}
+	v := f.Vantage("active")
+
+	if _, ok := v.UDPExchange(v4, 161, []byte("hi")); !ok {
+		t.Fatal("fault-free UDP exchange failed")
+	}
+	if _, ok := v.FragIDProbe(v6); !ok {
+		t.Fatal("fault-free frag probe failed")
+	}
+
+	// Total loss blacks out both datagram paths.
+	f.SetFaults(Faults{Seed: 1, LossRate: 1.0})
+	if _, ok := v.UDPExchange(v4, 161, []byte("hi")); ok {
+		t.Fatal("UDP exchange survived 100% loss")
+	}
+	if _, ok := v.FragIDProbe(v6); ok {
+		t.Fatal("frag probe survived 100% loss")
+	}
+}

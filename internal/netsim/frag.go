@@ -43,8 +43,9 @@ func (s *ipidState) sample32(m IPIDModel, ifIndex int, now time.Time) uint32 {
 
 // sampleFragID answers a Speedtrap probe against an IPv6 interface, or false
 // when the device does not emit fragment identifiers (most hosts answer
-// atomically or not at all — the reason IPv6 alias resolution is hard).
-func (d *Device) sampleFragID(vantage string, addr netip.Addr, now time.Time) (uint32, bool) {
+// atomically or not at all — the reason IPv6 alias resolution is hard). A
+// non-nil policy overrides the device's IPID model, as in sampleIPID.
+func (d *Device) sampleFragID(vantage string, addr netip.Addr, now time.Time, policy *IPIDModel) (uint32, bool) {
 	if !d.fragEmitter || d.filteredVantages[vantage] {
 		return 0, false
 	}
@@ -55,16 +56,23 @@ func (d *Device) sampleFragID(vantage string, addr netip.Addr, now time.Time) (u
 	if !ok {
 		return 0, false
 	}
-	return d.ipid.sample32(d.ipidModel, idx, now), true
+	model := d.ipidModel
+	if policy != nil {
+		model = *policy
+	}
+	return d.ipid.sample32(model, idx, now), true
 }
 
 // FragIDProbe elicits one IPv6 fragment-identification sample from addr —
 // the Speedtrap primitive. ok is false when the target does not answer with
 // fragmented packets.
 func (v *Vantage) FragIDProbe(addr netip.Addr) (fragID uint32, ok bool) {
+	if v.faultDrop(faultFrag, addr, 0) {
+		return 0, false
+	}
 	d := v.fabric.Lookup(addr)
 	if d == nil {
 		return 0, false
 	}
-	return d.sampleFragID(v.label, addr, v.fabric.clock.Now())
+	return d.sampleFragID(v.label, addr, v.fabric.clock.Now(), v.ipidPolicy())
 }

@@ -84,6 +84,11 @@ func (d *Device) udpHandlerFor(vantage string, addr netip.Addr, port uint16) UDP
 // response, if any. ok is false when the target is unrouted, filtered, has no
 // service on the port, or the service chose not to answer.
 func (v *Vantage) UDPExchange(addr netip.Addr, port uint16, req []byte) (resp []byte, ok bool) {
+	// UDP discovery sweeps are fast-path probes: both per-wire loss and the
+	// rate-limiter throttle can eat the request (or its answer).
+	if v.faultDrop(faultUDP, addr, port) {
+		return nil, false
+	}
 	d := v.fabric.Lookup(addr)
 	if d == nil {
 		return nil, false

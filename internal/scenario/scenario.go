@@ -1,0 +1,276 @@
+// Package scenario is the adversarial-world engine: a catalog of named
+// presets (baseline, lossy, ratelimited, ssh-keyfarm, snmp-dark, ipid-noisy,
+// churn-storm, ipv6-heavy, megascale, …) that compose topo generation knobs
+// with netsim fault-injection hooks, run the full collect→resolve→validate
+// pipeline against each world, and score the inference against the
+// simulator's ground-truth alias sets.
+//
+// The paper evaluates one Internet; this package opens the workload axis.
+// Every preset produces per-protocol precision / recall / coverage plus the
+// MIDAR-validation tally in one machine-readable Report (SCENARIOS.json),
+// deterministic byte-for-byte for a fixed seed — quenched-randomness fault
+// draws, not execution-order dice — so CI can diff scenario outcomes across
+// commits the way it already diffs benchmarks.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"aliaslimit/internal/evaluate"
+	"aliaslimit/internal/experiments"
+	"aliaslimit/internal/ident"
+	"aliaslimit/internal/midar"
+	"aliaslimit/internal/topo"
+)
+
+// Options parameterise one scenario run.
+type Options struct {
+	// Seed drives the world and every fault draw; 0 keeps the topo default.
+	Seed uint64
+	// Scale overrides the preset's world scale when positive.
+	Scale float64
+	// Quick selects the CI-sized scale (ignored when Scale is set).
+	Quick bool
+	// Workers / Parallelism tune collection exactly as aliaslimit.Options.
+	Workers, Parallelism int
+}
+
+// ProtocolScore is one protocol's ground-truth accuracy in one scenario.
+type ProtocolScore struct {
+	// Protocol names the technique (ssh, bgp, snmpv3).
+	Protocol string `json:"protocol"`
+	// Precision / Recall / F1 are pairwise clustering scores against the
+	// generator's ground truth (evaluate.Pairwise).
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	// Coverage is identifiable observed addresses over ground-truth
+	// service addresses — how much of the answering population the
+	// pipeline reached under this world's conditions. Zero when the world
+	// runs no such service at all.
+	Coverage float64 `json:"coverage"`
+	// ObservedAddrs / TruthAddrs are Coverage's numerator and denominator.
+	ObservedAddrs int `json:"observed_addrs"`
+	TruthAddrs    int `json:"truth_addrs"`
+	// AliasSets counts the non-singleton sets the protocol yielded.
+	AliasSets int `json:"alias_sets"`
+	// TruePairs / FalsePairs / MissedPairs are the raw pairwise counts.
+	TruePairs   int `json:"true_pairs"`
+	FalsePairs  int `json:"false_pairs"`
+	MissedPairs int `json:"missed_pairs"`
+}
+
+// MIDARScore is the IPID baseline's validation tally in one scenario — the
+// number that collapses under ipid-noisy and ratelimited worlds.
+type MIDARScore struct {
+	// Sampled is the number of SSH sets fed to the IPID pipeline.
+	Sampled int `json:"sampled"`
+	// Unverifiable / Confirmed / Split partition the sample.
+	Unverifiable int `json:"unverifiable"`
+	Confirmed    int `json:"confirmed"`
+	Split        int `json:"split"`
+}
+
+// Result is one scenario's full scorecard.
+type Result struct {
+	// Scenario is the preset name; Summary its catalog line.
+	Scenario string `json:"scenario"`
+	Summary  string `json:"summary"`
+	// Seed and Scale pin the world; Quick records the CI-sized variant.
+	Seed  uint64  `json:"seed"`
+	Scale float64 `json:"scale"`
+	Quick bool    `json:"quick"`
+	// Devices / V4Addresses / V6Addresses size the measured world.
+	Devices     int `json:"devices"`
+	V4Addresses int `json:"v4_addresses"`
+	V6Addresses int `json:"v6_addresses"`
+	// Protocols holds the per-protocol ground-truth scores (ssh, bgp,
+	// snmpv3, in that order).
+	Protocols []ProtocolScore `json:"protocols"`
+	// UnionSetsV4 / UnionSetsV6 / DualStackSets are the cross-protocol
+	// yields the paper headlines.
+	UnionSetsV4   int `json:"union_sets_v4"`
+	UnionSetsV6   int `json:"union_sets_v6"`
+	DualStackSets int `json:"dual_stack_sets"`
+	// MIDAR is the IPID-validation tally.
+	MIDAR MIDARScore `json:"midar"`
+}
+
+// Report is the merged, machine-readable scenario scorecard — the
+// SCENARIOS.json artifact CI uploads.
+type Report struct {
+	// Scenarios holds one Result per run preset, in canonical order.
+	Scenarios []*Result `json:"scenarios"`
+}
+
+// MarshalIndent renders the report as the canonical SCENARIOS.json bytes.
+func (r *Report) MarshalIndent() ([]byte, error) {
+	SortResults(r.Scenarios)
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ParseReport decodes SCENARIOS.json bytes.
+func ParseReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("scenario: parsing report: %w", err)
+	}
+	return &r, nil
+}
+
+// Merge combines several reports into one, keeping canonical order.
+func Merge(parts ...*Report) *Report {
+	out := &Report{}
+	for _, p := range parts {
+		if p != nil {
+			out.Scenarios = append(out.Scenarios, p.Scenarios...)
+		}
+	}
+	SortResults(out.Scenarios)
+	return out
+}
+
+// Run builds the named preset's world, measures it from both vantage points
+// through the standard pipeline, and scores the inference against ground
+// truth. Results are deterministic for a fixed (name, Options).
+func Run(name string, opts Options) (*Result, error) {
+	p, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown preset %q (have: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+
+	cfg := topo.Default()
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	// An explicit Scale overrides Quick entirely (sizing and sampling), as
+	// the Options doc promises.
+	quick := opts.Quick && opts.Scale <= 0
+	switch {
+	case opts.Scale > 0:
+		cfg.Scale = opts.Scale
+	case quick:
+		cfg.Scale = p.QuickScale
+	default:
+		cfg.Scale = p.Scale
+	}
+	if p.Tune != nil {
+		p.Tune(&cfg)
+	}
+	faults := p.Faults
+	faults.Seed = cfg.Seed
+
+	env, err := experiments.BuildEnv(experiments.Options{
+		Topo: cfg,
+		Scan: experiments.ScanOptions{
+			Workers:     opts.Workers,
+			Seed:        cfg.Seed,
+			Parallelism: opts.Parallelism,
+		},
+		ChurnFraction: p.Churn,
+		Faults:        faults,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	return score(p, cfg, quick, env), nil
+}
+
+// score assembles the Result from a measured environment.
+func score(p Preset, cfg topo.Config, quick bool, env *experiments.Env) *Result {
+	res := &Result{
+		Scenario:    p.Name,
+		Summary:     p.Summary,
+		Seed:        cfg.Seed,
+		Scale:       cfg.Scale,
+		Quick:       quick,
+		Devices:     env.World.Fabric.NumDevices(),
+		V4Addresses: len(env.Both.AllAddrs(experiments.V4)),
+		V6Addresses: len(env.Both.AllAddrs(experiments.V6)),
+		UnionSetsV4: len(env.UnionFamilyNonSingleton(true)),
+		UnionSetsV6: len(env.UnionFamilyNonSingleton(false)),
+	}
+	res.DualStackSets = len(env.DualStackSets())
+
+	truthFor := map[ident.Protocol]map[string][]netip.Addr{
+		ident.SSH:  env.World.Truth.SSHAddrs,
+		ident.BGP:  env.World.Truth.BGPAddrs,
+		ident.SNMP: env.World.Truth.SNMPAddrs,
+	}
+	for _, proto := range []ident.Protocol{ident.SSH, ident.BGP, ident.SNMP} {
+		// Score the datasets the analysis actually consumes: the
+		// Active∪Censys union for SSH and BGP, the active scan for SNMPv3
+		// (its single source, as in the paper).
+		ds := env.Both
+		if proto == ident.SNMP {
+			ds = env.Active
+		}
+		owner := evaluate.OwnerMap(truthFor[proto])
+		sets := ds.NonSingletonSets(proto)
+		m := evaluate.Pairwise(sets, owner)
+		// Empty ground truth means the world has no such service; report
+		// zero coverage rather than a vacuous perfect score, so a preset
+		// that fully disables a protocol cannot pass a coverage gate.
+		observed := len(ds.Addrs(proto, nil))
+		cov := 0.0
+		if len(owner) > 0 {
+			cov = float64(observed) / float64(len(owner))
+		}
+		res.Protocols = append(res.Protocols, ProtocolScore{
+			Protocol:      proto.String(),
+			Precision:     m.Precision(),
+			Recall:        m.Recall(),
+			F1:            m.F1(),
+			Coverage:      cov,
+			ObservedAddrs: observed,
+			TruthAddrs:    len(owner),
+			AliasSets:     len(sets),
+			TruePairs:     m.TruePairs,
+			FalsePairs:    m.FalsePairs,
+			MissedPairs:   m.MissedPairs,
+		})
+	}
+
+	// The MIDAR tally: paper-scaled sample on full runs, a fixed small
+	// sample in quick mode so the CI matrix stays fast.
+	maxSets := 0
+	if quick {
+		maxSets = 15
+	}
+	run := env.MIDARRun(maxSets, midar.Config{})
+	res.MIDAR = MIDARScore{
+		Sampled:      run.Tally.Unverifiable + run.Tally.Confirmed + run.Tally.Split,
+		Unverifiable: run.Tally.Unverifiable,
+		Confirmed:    run.Tally.Confirmed,
+		Split:        run.Tally.Split,
+	}
+	return res
+}
+
+// RenderText prints one result as a human-readable block (the CLI's default
+// output).
+func (r *Result) RenderText() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "scenario %-12s %s\n", r.Scenario, r.Summary)
+	fmt.Fprintf(&sb, "  world: seed=%d scale=%.2f devices=%d addrs=%d(v4)+%d(v6)\n",
+		r.Seed, r.Scale, r.Devices, r.V4Addresses, r.V6Addresses)
+	fmt.Fprintf(&sb, "  union sets: %d(v4) %d(v6)  dual-stack: %d\n",
+		r.UnionSetsV4, r.UnionSetsV6, r.DualStackSets)
+	fmt.Fprintf(&sb, "  %-8s %9s %9s %9s %9s %7s\n",
+		"protocol", "precision", "recall", "f1", "coverage", "sets")
+	for _, p := range r.Protocols {
+		fmt.Fprintf(&sb, "  %-8s %9.4f %9.4f %9.4f %9.4f %7d\n",
+			p.Protocol, p.Precision, p.Recall, p.F1, p.Coverage, p.AliasSets)
+	}
+	fmt.Fprintf(&sb, "  midar: sampled=%d confirmed=%d split=%d unverifiable=%d\n",
+		r.MIDAR.Sampled, r.MIDAR.Confirmed, r.MIDAR.Split, r.MIDAR.Unverifiable)
+	return sb.String()
+}

@@ -135,6 +135,13 @@ type Config struct {
 	PSSHAcl float64
 	// PSNMPAcl is the probability SNMPv3 answers only on a subset.
 	PSNMPAcl float64
+	// PSNMPDisabled is the probability a device that would run SNMPv3 has
+	// the agent administratively disabled (security hardening has been
+	// shrinking the SNMP population for years). The device keeps its
+	// addresses and other services; it simply never answers engine
+	// discovery, and it leaves the SNMP ground truth entirely. Scenario
+	// presets use this to model an "SNMP-dark" Internet.
+	PSNMPDisabled float64
 
 	// --- IPv6 hitlist ---
 

@@ -171,6 +171,12 @@ func (g *generator) buildDevice(p *devicePlan, keys map[string]ed25519.PrivateKe
 	if err != nil {
 		return err
 	}
+	// SNMP-dark worlds: the agent exists in the plan but was administratively
+	// disabled. Clearing the plan here (hash-keyed, order-free draw) removes
+	// both the service and — because commit reads p.snmp — the ground truth.
+	if p.snmp != nil && g.cfg.PSNMPDisabled > 0 && g.prob(p.id, "snmp-dark") < g.cfg.PSNMPDisabled {
+		p.snmp = nil
+	}
 	if p.brokenSSH {
 		// Misbehaving daemon: speaks garbage on port 22. It stays out of the
 		// ground truth — a scanner should learn nothing here.
