@@ -289,6 +289,14 @@ type (
 	ScenarioResult = scenario.Result
 	// ScenarioReport is the mergeable SCENARIOS.json document.
 	ScenarioReport = scenario.Report
+	// LongitudinalOptions parameterise RunLongitudinal.
+	LongitudinalOptions = scenario.LongitudinalOptions
+	// LongitudinalResult is one preset's multi-epoch scorecard: per-epoch
+	// precision/recall, identifier-persistence rates, alias-set survival
+	// curves, and the longitudinal merge-strategy comparison.
+	LongitudinalResult = scenario.LongitudinalResult
+	// ScenarioSweep is one axis sweep's degradation curve.
+	ScenarioSweep = scenario.SweepReport
 )
 
 // ScenarioNames lists the preset catalog in canonical order.
@@ -302,6 +310,31 @@ func ScenarioNames() []string { return scenario.Names() }
 // execution order.
 func RunScenario(name string, opts ScenarioOptions) (*ScenarioResult, error) {
 	return scenario.Run(name, opts)
+}
+
+// RunLongitudinal runs the named preset over opts.Epochs successive
+// snapshot→churn→scan rounds on one persistent world: between epochs the
+// world renumbers addresses, reboots devices into fresh SSH keys and SNMPv3
+// engine IDs, and takes interfaces down or back up, while ground truth is
+// snapshotted at every epoch's scan time so each epoch stays scorable. On
+// top of the per-epoch scorecards it reports identifier-persistence rates,
+// alias-set survival curves, and a comparison of longitudinal merge
+// strategies (naive cumulative union vs decay-weighted identifier history)
+// against the final epoch's ground truth. Deterministic for a fixed
+// (name, options) at any concurrency setting.
+func RunLongitudinal(name string, opts LongitudinalOptions) (*LongitudinalResult, error) {
+	return scenario.RunLongitudinal(name, opts)
+}
+
+// LongitudinalScenarioNames lists the presets the CI longitudinal matrix
+// pins (every preset can run longitudinally; these are the interesting ones).
+func LongitudinalScenarioNames() []string { return scenario.LongitudinalNames() }
+
+// RunScenarioSweep promotes one preset knob to an axis ("loss" or "churn")
+// and returns the per-value degradation curve — the Figure-style counterpart
+// of the single-point scenario scorecards.
+func RunScenarioSweep(axis, name string, values []float64, opts ScenarioOptions) (*ScenarioSweep, error) {
+	return scenario.RunSweep(axis, name, values, opts)
 }
 
 // Stats computes the summary from the env's cached views; after the first

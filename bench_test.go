@@ -218,6 +218,24 @@ func BenchmarkTopoBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkRunLongitudinal measures the full multi-epoch pipeline at small
+// scale: three snapshot→churn→scan rounds over one persistent world plus the
+// longitudinal scoring layer (per-epoch ground-truth scores, persistence,
+// survival, merge strategies). This is the bench-regression gate's coverage
+// of the EnvSeries path.
+func BenchmarkRunLongitudinal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunLongitudinal("baseline", LongitudinalOptions{
+			Options: ScenarioOptions{Scale: 0.05, Workers: 128},
+			Epochs:  3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.BaselineSets), "tracked_sets")
+	}
+}
+
 // BenchmarkRenderAll measures regenerating every table and figure from the
 // shared measured environment — the memoized analysis layer makes repeated
 // full renders near-free, and generation is concurrent.

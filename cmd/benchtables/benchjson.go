@@ -80,6 +80,22 @@ func writeBenchJSON(path string, scale float64, seed uint64, workers, parallelis
 		Name: "render_all_cold", Ops: 1, NsPerOp: float64(time.Since(start).Nanoseconds()),
 	})
 
+	// The multi-epoch pipeline at a fixed small scale (independent of -scale
+	// so the longitudinal entry stays comparable across gate workloads):
+	// three snapshot→churn→scan rounds plus the longitudinal scoring layer.
+	start = time.Now()
+	if _, err := aliaslimit.RunLongitudinal("baseline", aliaslimit.LongitudinalOptions{
+		Options: aliaslimit.ScenarioOptions{
+			Seed: seed, Scale: 0.05, Workers: workers, Parallelism: parallelism,
+		},
+		Epochs: 3,
+	}); err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results, benchEntry{
+		Name: "run_longitudinal", Ops: 1, NsPerOp: float64(time.Since(start).Nanoseconds()),
+	})
+
 	env := study.Env()
 	rep.Results = append(rep.Results,
 		measure("grouping_union_ssh", func() { alias.Group(env.Both.Obs[ident.SSH]) }),

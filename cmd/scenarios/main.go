@@ -6,13 +6,18 @@
 //	scenarios -list                          # the preset catalog
 //	scenarios -run baseline                  # one scenario, text scorecard
 //	scenarios -run all -quick -json SCENARIOS.json
+//	scenarios -run churn-storm -epochs 5     # longitudinal: N snapshot rounds
+//	scenarios -run baseline -sweep loss=1,5,10,20,30 -json SWEEP-loss.json
 //	scenarios -merge 'SCENARIOS-*.json' -json SCENARIOS.json
 //
-// The CI scenario-matrix job runs every preset with -quick -json and merges
-// the per-preset files into the SCENARIOS.json artifact with -merge.
+// The CI scenario-matrix job runs every preset with -quick -json, the
+// longitudinal job runs the pinned presets with -epochs 5, and both sets of
+// per-run files merge into the SCENARIOS.json artifact with -merge. The
+// nightly sweep job emits per-axis degradation curves with -sweep.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -20,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -54,6 +60,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	scale := fs.Float64("scale", 0, "world scale override (0 keeps the preset scale)")
 	workers := fs.Int("workers", 0, "scan concurrency (0 = default 256)")
 	parallelism := fs.Int("parallelism", 0, "concurrent protocol sweeps (0 = all at once)")
+	epochs := fs.Int("epochs", 1, "snapshot rounds per scenario; >1 runs the longitudinal pipeline")
+	decay := fs.Float64("decay", 0, "decay factor for the longitudinal decay-weighted merge (0 = default 0.5)")
+	sweep := fs.String("sweep", "", "axis sweep, e.g. loss=1,5,10,20,30 (percent); runs the -run preset per value")
 	jsonPath := fs.String("json", "", "write the machine-readable report to this path (- for stdout)")
 	merge := fs.String("merge", "", "merge existing report files matching this glob instead of running")
 	if err := fs.Parse(args); err != nil {
@@ -63,21 +72,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return errBadFlags
 	}
 
+	opts := scenario.Options{
+		Seed:        *seed,
+		Scale:       *scale,
+		Quick:       *quick,
+		Workers:     *workers,
+		Parallelism: *parallelism,
+	}
 	switch {
 	case *list:
 		return printCatalog(stdout)
 	case *merge != "":
 		return mergeReports(*merge, *jsonPath, stdout, stderr)
+	case *sweep != "":
+		return runSweep(*sweep, *runName, opts, *jsonPath, stdout, stderr)
 	case *runName != "":
-		return runScenarios(*runName, scenario.Options{
-			Seed:        *seed,
-			Scale:       *scale,
-			Quick:       *quick,
-			Workers:     *workers,
-			Parallelism: *parallelism,
-		}, *jsonPath, stdout, stderr)
+		if *epochs > 1 {
+			return runLongitudinal(*runName, scenario.LongitudinalOptions{
+				Options: opts,
+				Epochs:  *epochs,
+				Decay:   *decay,
+			}, *jsonPath, stdout, stderr)
+		}
+		return runScenarios(*runName, opts, *jsonPath, stdout, stderr)
 	default:
-		fmt.Fprintln(stderr, "scenarios: one of -list, -run, or -merge is required")
+		fmt.Fprintln(stderr, "scenarios: one of -list, -run, -sweep, or -merge is required")
 		fs.Usage()
 		return errBadFlags
 	}
@@ -117,6 +136,70 @@ func runScenarios(name string, opts scenario.Options, jsonPath string, stdout, s
 	return writeReport(rep, jsonPath, stdout, stderr)
 }
 
+// runLongitudinal executes one preset (or the pinned longitudinal set with
+// "all") over several epochs and emits the longitudinal scorecards.
+func runLongitudinal(name string, opts scenario.LongitudinalOptions, jsonPath string, stdout, stderr io.Writer) error {
+	names := []string{name}
+	if name == "all" {
+		names = scenario.LongitudinalNames()
+	}
+	rep := &scenario.Report{}
+	for _, n := range names {
+		start := time.Now()
+		res, err := scenario.RunLongitudinal(n, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "scenarios: %s x%d epochs done in %v\n",
+			n, opts.Epochs, time.Since(start).Round(time.Millisecond))
+		rep.Longitudinal = append(rep.Longitudinal, res)
+	}
+	if jsonPath == "" {
+		for _, r := range rep.Longitudinal {
+			fmt.Fprintln(stdout, r.RenderText())
+		}
+		return nil
+	}
+	return writeReport(rep, jsonPath, stdout, stderr)
+}
+
+// runSweep parses an axis=values spec (percent values), runs the sweep on the
+// -run preset (baseline when unset), and emits the degradation curve.
+func runSweep(spec, name string, opts scenario.Options, jsonPath string, stdout, stderr io.Writer) error {
+	axis, valuesStr, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("bad -sweep %q: want axis=v1,v2,... (percent values)", spec)
+	}
+	var values []float64
+	for _, f := range strings.Split(valuesStr, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return fmt.Errorf("bad -sweep value %q: %w", f, err)
+		}
+		values = append(values, v/100)
+	}
+	if name == "" || name == "all" {
+		name = "baseline"
+	}
+	start := time.Now()
+	rep, err := scenario.RunSweep(axis, name, values, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "scenarios: sweep %s on %s (%d points) done in %v\n",
+		axis, name, len(values), time.Since(start).Round(time.Millisecond))
+	if jsonPath == "" {
+		fmt.Fprintln(stdout, rep.RenderText())
+		return nil
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return writeJSON(data, jsonPath, fmt.Sprintf("sweep %s on %s", axis, name), stdout, stderr)
+}
+
 // mergeReports combines per-scenario report files (as the CI matrix produces)
 // into one canonical report.
 func mergeReports(glob, jsonPath string, stdout, stderr io.Writer) error {
@@ -153,17 +236,26 @@ func writeReport(rep *scenario.Report, path string, stdout, stderr io.Writer) er
 	if err != nil {
 		return err
 	}
+	var names []string
+	for _, r := range rep.Scenarios {
+		names = append(names, r.Scenario)
+	}
+	for _, r := range rep.Longitudinal {
+		names = append(names, fmt.Sprintf("%s x%d epochs", r.Scenario, len(r.Epochs)))
+	}
+	return writeJSON(data, path, strings.Join(names, ", "), stdout, stderr)
+}
+
+// writeJSON emits report bytes to path ("-" for stdout), logging what was
+// written to stderr.
+func writeJSON(data []byte, path, what string, stdout, stderr io.Writer) error {
 	if path == "-" {
-		_, err = stdout.Write(data)
+		_, err := stdout.Write(data)
 		return err
 	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	var names []string
-	for _, r := range rep.Scenarios {
-		names = append(names, r.Scenario)
-	}
-	fmt.Fprintf(stderr, "scenarios: wrote %s (%s)\n", path, strings.Join(names, ", "))
+	fmt.Fprintf(stderr, "scenarios: wrote %s (%s)\n", path, what)
 	return nil
 }

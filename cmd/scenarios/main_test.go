@@ -105,6 +105,96 @@ func TestMerge(t *testing.T) {
 	}
 }
 
+// TestLongitudinalJSONDeterministic runs a multi-epoch scenario with
+// sequential and fully pipelined collection, at two seeds, and requires
+// byte-identical SCENARIOS.json output per seed — the longitudinal extension
+// of the determinism contract. CI runs this under -race.
+func TestLongitudinalJSONDeterministic(t *testing.T) {
+	emit := func(seed, parallelism, workers string) string {
+		var stdout, stderr bytes.Buffer
+		err := run([]string{"-run", "churn-storm", "-epochs", "3", "-scale", "0.05",
+			"-seed", seed, "-parallelism", parallelism, "-workers", workers, "-json", "-"},
+			&stdout, &stderr)
+		if err != nil {
+			t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+		}
+		return stdout.String()
+	}
+	var perSeed []string
+	for _, seed := range []string{"1", "7"} {
+		seq := emit(seed, "1", "32")
+		par := emit(seed, "0", "0")
+		if seq != par {
+			t.Fatalf("seed %s: sequential and pipelined longitudinal reports differ:\n%s\n---\n%s",
+				seed, seq, par)
+		}
+		rep, err := scenario.ParseReport([]byte(seq))
+		if err != nil {
+			t.Fatalf("seed %s: report does not parse: %v", seed, err)
+		}
+		if len(rep.Longitudinal) != 1 || len(rep.Longitudinal[0].Epochs) != 3 {
+			t.Fatalf("seed %s: unexpected longitudinal shape: %+v", seed, rep.Longitudinal)
+		}
+		for _, e := range rep.Longitudinal[0].Epochs {
+			if len(e.Protocols) != 3 {
+				t.Fatalf("seed %s epoch %d: %d protocol scores", seed, e.Epoch, len(e.Protocols))
+			}
+		}
+		perSeed = append(perSeed, seq)
+	}
+	if perSeed[0] == perSeed[1] {
+		t.Fatal("different seeds produced identical longitudinal reports")
+	}
+}
+
+// TestLongitudinalText checks the human-readable multi-epoch scorecard.
+func TestLongitudinalText(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-run", "baseline", "-epochs", "2", "-scale", "0.05", "-workers", "32"},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	for _, want := range []string{"2 epochs", "identifier persistence", "alias-set survival",
+		"naive-union", "decay-weighted"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("longitudinal scorecard missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+// TestSweepCLI runs a tiny loss sweep through the CLI, text and JSON.
+func TestSweepCLI(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-run", "baseline", "-sweep", "loss=0,10", "-scale", "0.05", "-workers", "32"},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	for _, want := range []string{"sweep loss on baseline", "0.0%", "10.0%"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("sweep output missing %q:\n%s", want, stdout.String())
+		}
+	}
+	out := filepath.Join(t.TempDir(), "SWEEP-loss.json")
+	stdout.Reset()
+	stderr.Reset()
+	err = run([]string{"-run", "baseline", "-sweep", "loss=0,10", "-scale", "0.05",
+		"-workers", "32", "-json", out}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run -json: %v (stderr: %s)", err, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"axis": "loss"`, `"value": 0.1`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("sweep JSON missing %q:\n%s", want, data)
+		}
+	}
+}
+
 // TestCIMatrixCoversCatalog pins the GitHub Actions scenario matrix to the
 // preset catalog: adding a preset without adding it to the CI matrix (or
 // vice versa) fails here instead of silently shrinking coverage.
@@ -124,11 +214,66 @@ func TestCIMatrixCoversCatalog(t *testing.T) {
 	}
 }
 
+// TestCILongitudinalCoversPresets pins the CI longitudinal job to the
+// epochs-capable preset list: marking a preset Longitudinal without adding it
+// to the ci.yml longitudinal matrix (or vice versa) fails here.
+func TestCILongitudinalCoversPresets(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", ".github", "workflows", "ci.yml"))
+	if err != nil {
+		t.Skipf("ci.yml not readable: %v", err)
+	}
+	text := string(data)
+	idx := strings.Index(text, "scenario-longitudinal:")
+	if idx < 0 {
+		t.Fatal("ci.yml has no scenario-longitudinal job")
+	}
+	end := strings.Index(text[idx:], "\n  scenario-merge:")
+	if end < 0 {
+		end = len(text) - idx
+	}
+	job := text[idx : idx+end]
+	names := scenario.LongitudinalNames()
+	if len(names) < 2 {
+		t.Fatalf("longitudinal preset list too small: %v", names)
+	}
+	for _, name := range names {
+		if !strings.Contains(job, "- "+name) {
+			t.Errorf("longitudinal preset %q missing from the ci.yml scenario-longitudinal matrix", name)
+		}
+	}
+	if !strings.Contains(job, "-epochs 5") {
+		t.Error("ci.yml longitudinal job does not run -epochs 5")
+	}
+}
+
+// TestCISweepJobPresent pins the nightly sweep job and its loss axis.
+func TestCISweepJobPresent(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", ".github", "workflows", "ci.yml"))
+	if err != nil {
+		t.Skipf("ci.yml not readable: %v", err)
+	}
+	text := string(data)
+	for _, want := range []string{"workflow_dispatch:", "schedule:", "sweep:", "-sweep loss=1,5,10,20,30"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("ci.yml missing %q for the nightly sweep job", want)
+		}
+	}
+}
+
 // TestBadArguments covers the error paths.
 func TestBadArguments(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if err := run([]string{"-run", "no-such-world", "-scale", "0.05"}, &stdout, &stderr); err == nil {
 		t.Fatal("unknown scenario accepted")
+	}
+	if err := run([]string{"-run", "baseline", "-epochs", "0", "-scale", "0.05"}, &stdout, &stderr); err != nil {
+		t.Fatalf("-epochs 0 (single snapshot) should run normally, got %v", err)
+	}
+	if err := run([]string{"-run", "baseline", "-sweep", "loss", "-scale", "0.05"}, &stdout, &stderr); err == nil {
+		t.Fatal("malformed -sweep accepted")
+	}
+	if err := run([]string{"-run", "baseline", "-sweep", "loss=x", "-scale", "0.05"}, &stdout, &stderr); err == nil {
+		t.Fatal("non-numeric -sweep value accepted")
 	}
 	if err := run(nil, &stdout, &stderr); !errors.Is(err, errBadFlags) {
 		t.Fatalf("no mode: want errBadFlags, got %v", err)

@@ -24,3 +24,19 @@ func ExampleRunScenario() {
 	fmt.Printf("%s scored %d protocols against ground truth\n", res.Scenario, len(res.Protocols))
 	// Output: baseline scored 3 protocols against ground truth
 }
+
+// ExampleRunLongitudinal runs two snapshot→churn→scan rounds over one
+// persistent tiny world and shows the shape of the longitudinal scorecard:
+// per-epoch scores plus the metrics only a time axis can produce.
+func ExampleRunLongitudinal() {
+	res, err := aliaslimit.RunLongitudinal("baseline", aliaslimit.LongitudinalOptions{
+		Options: aliaslimit.ScenarioOptions{Scale: 0.05},
+		Epochs:  2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s ran %d epochs: %d survival points, %d merge strategies\n",
+		res.Scenario, len(res.Epochs), len(res.Survival), len(res.Merges))
+	// Output: baseline ran 2 epochs: 2 survival points, 2 merge strategies
+}

@@ -75,6 +75,26 @@ func TestQuickstartRuns(t *testing.T) {
 	}
 }
 
+// TestLongitudinalExampleRuns executes the longitudinal example at a tiny
+// scale with two epochs and checks the multi-epoch headlines.
+func TestLongitudinalExampleRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example execution in -short mode")
+	}
+	gobin := goTool(t)
+	cmd := exec.Command(gobin, "run", "./examples/longitudinal",
+		"-scale", "0.05", "-epochs", "2", "-scenario", "baseline")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("running longitudinal example: %v\n%s", err, out)
+	}
+	for _, want := range []string{"over 2 epochs", "identifier persistence", "alias-set survival", "decay-weighted"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("longitudinal example output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestExamplesAreMainPackages guards the directory layout the smoke test
 // relies on: every examples/* dir holds exactly one main package file set.
 func TestExamplesAreMainPackages(t *testing.T) {

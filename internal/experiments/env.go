@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"time"
 
 	"aliaslimit/internal/netsim"
@@ -47,44 +46,15 @@ type Options struct {
 
 // BuildEnv generates a world and measures it from both vantage points in
 // the paper's chronology: Censys first, churn and clock advance, then the
-// active scan.
+// active scan. It is the single-epoch special case of EnvSeries.
 func BuildEnv(opts Options) (*Env, error) {
-	cfg := opts.Topo
-	if cfg.Scale == 0 {
-		cfg = topo.Default()
-	}
-	gap := opts.SnapshotGap
-	if gap == 0 {
-		gap = 21 * 24 * time.Hour
-	}
-	churn := opts.ChurnFraction
-	if churn == 0 {
-		churn = 0.02
-	}
-
-	w, err := topo.Build(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: building world: %w", err)
-	}
-	w.Fabric.SetFaults(opts.Faults)
-	censys, err := CollectCensys(w, opts.Scan)
+	s, err := NewEnvSeries(SeriesOptions{Options: opts, Epochs: 1})
 	if err != nil {
 		return nil, err
 	}
-	w.Clock.Advance(gap)
-	if churn > 0 {
-		w.ApplyChurn(churn, 1)
-	}
-	active, err := CollectActive(w, opts.Scan)
+	ep, err := s.Advance()
 	if err != nil {
 		return nil, err
 	}
-	env := &Env{
-		World:  w,
-		Active: active,
-		Censys: censys,
-		Both:   Union("Union", active, censys),
-	}
-	env.seal()
-	return env, nil
+	return ep.Env, nil
 }

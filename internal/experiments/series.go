@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"aliaslimit/internal/topo"
+)
+
+// EnvSeries is the multi-epoch measurement runtime: one persistent world
+// measured by N successive snapshot→churn→scan rounds. Each Advance call
+// performs one full epoch — epoch-boundary churn (address renumbering,
+// device-reboot re-keying, wire down/up), then the Censys snapshot, the
+// intra-epoch churn and clock gap, and the active scan — and returns a fully
+// sealed Env plus the ground truth as it stood at scan time.
+//
+// The series is strictly sequential: the caller must finish consuming one
+// epoch (including clock-advancing analyses like the MIDAR run) before
+// calling Advance again, mirroring the ordering contract of topo.World's
+// mutating methods. Within an epoch, collection retains the full concurrency
+// of CollectActive/CollectCensys and the byte-determinism contract: the same
+// (options, epoch) always yields identical datasets at any Workers or
+// Parallelism setting.
+type EnvSeries struct {
+	// World is the persistent simulated Internet shared by every epoch.
+	World *topo.World
+
+	opts SeriesOptions
+	next int
+}
+
+// SeriesOptions parameterise a multi-epoch run.
+type SeriesOptions struct {
+	// Options configures the world and each epoch's collection exactly as
+	// BuildEnv does (BuildEnv is the Epochs=1 special case of a series).
+	Options
+	// Epochs is the number of snapshot rounds; 0 and 1 both mean a single
+	// epoch.
+	Epochs int
+	// EpochGap is the simulated time between one epoch's active scan and the
+	// next epoch's Censys snapshot; zero picks five weeks (with the
+	// three-week intra-epoch gap, one epoch per two simulated months).
+	EpochGap time.Duration
+	// EpochChurn is applied at every epoch boundary (not before the first
+	// epoch). The zero value disables boundary churn; Options.ChurnFraction
+	// still applies within each epoch.
+	EpochChurn topo.EpochChurn
+}
+
+// EpochStats reports what one Advance call did to the world.
+type EpochStats struct {
+	// Epoch is the zero-based epoch index.
+	Epoch int
+	// EpochChurnStats counts the boundary mutations (zero for epoch 0).
+	topo.EpochChurnStats
+	// IntraChurned counts addresses reassigned by the intra-epoch churn
+	// between the Censys snapshot and the active scan.
+	IntraChurned int
+}
+
+// Epoch is one completed measurement round.
+type Epoch struct {
+	// Env is the sealed environment measured this round.
+	Env *Env
+	// Stats counts the churn that preceded and accompanied the round.
+	Stats EpochStats
+	// Truth is the ground truth snapshotted at scan time. Scoring an epoch
+	// against the world's live Truth instead would judge early measurements
+	// by a later world.
+	Truth *topo.Truth
+}
+
+// NewEnvSeries builds the world (and installs the fault policy) without
+// measuring anything; call Advance once per epoch.
+func NewEnvSeries(opts SeriesOptions) (*EnvSeries, error) {
+	cfg := opts.Topo
+	if cfg.Scale == 0 {
+		cfg = topo.Default()
+	}
+	opts.Topo = cfg
+	if opts.Epochs <= 0 {
+		opts.Epochs = 1
+	}
+	if opts.SnapshotGap == 0 {
+		opts.SnapshotGap = 21 * 24 * time.Hour
+	}
+	if opts.ChurnFraction == 0 {
+		opts.ChurnFraction = 0.02
+	}
+	if opts.EpochGap == 0 {
+		opts.EpochGap = 35 * 24 * time.Hour
+	}
+	w, err := topo.Build(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building world: %w", err)
+	}
+	w.Fabric.SetFaults(opts.Faults)
+	return &EnvSeries{World: w, opts: opts}, nil
+}
+
+// Epochs returns the configured number of snapshot rounds.
+func (s *EnvSeries) Epochs() int { return s.opts.Epochs }
+
+// Advance runs the next epoch and returns it. It fails once the configured
+// number of epochs is exhausted.
+func (s *EnvSeries) Advance() (*Epoch, error) {
+	e := s.next
+	if e >= s.opts.Epochs {
+		return nil, fmt.Errorf("experiments: series exhausted after %d epochs", s.opts.Epochs)
+	}
+	s.next++
+	w := s.World
+
+	var stats EpochStats
+	stats.Epoch = e
+	if e > 0 {
+		w.Clock.Advance(s.opts.EpochGap)
+		stats.EpochChurnStats = w.ApplyEpochChurn(s.opts.EpochChurn, e)
+	}
+
+	censys, err := CollectCensys(w, s.opts.Scan)
+	if err != nil {
+		return nil, err
+	}
+	w.Clock.Advance(s.opts.SnapshotGap)
+	if s.opts.ChurnFraction > 0 {
+		// Odd round numbers; epoch-boundary renumbering uses the even ones.
+		stats.IntraChurned = w.ApplyChurn(s.opts.ChurnFraction, 2*e+1)
+	}
+	active, err := CollectActive(w, s.opts.Scan)
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{
+		World:  w,
+		Active: active,
+		Censys: censys,
+		Both:   Union("Union", active, censys),
+	}
+	env.seal()
+	return &Epoch{Env: env, Stats: stats, Truth: w.Truth.Snapshot()}, nil
+}

@@ -27,16 +27,43 @@ type Preset struct {
 	// Tune applies the preset's topo.Config overrides on top of
 	// topo.Default(); nil leaves the calibrated defaults.
 	Tune func(*topo.Config)
+	// EpochChurn is the per-epoch-boundary churn a longitudinal run applies
+	// between snapshot rounds; the zero value falls back to
+	// DefaultEpochChurn.
+	EpochChurn topo.EpochChurn
+	// Longitudinal marks the presets the CI longitudinal matrix runs with
+	// -epochs (every preset *can* run longitudinally; these are the pinned
+	// interesting ones).
+	Longitudinal bool
+}
+
+// DefaultEpochChurn is the calm-Internet epoch boundary: a small dynamic
+// pool turns over, the odd device reboots into fresh keys, and a sliver of
+// interfaces blink in maintenance windows.
+var DefaultEpochChurn = topo.EpochChurn{
+	Renumber: 0.02,
+	Reboot:   0.02,
+	WireDown: 0.02,
+	WireUp:   0.50,
+}
+
+// epochChurn returns the preset's boundary churn spec, defaulted.
+func (p Preset) epochChurn() topo.EpochChurn {
+	if p.EpochChurn == (topo.EpochChurn{}) {
+		return DefaultEpochChurn
+	}
+	return p.EpochChurn
 }
 
 // presets is the catalog, in canonical (report) order. Every preset runs the
 // identical collect→resolve→validate pipeline; only the world differs.
 var presets = []Preset{
 	{
-		Name:       "baseline",
-		Summary:    "the paper's calibrated Internet: no injected faults, 2% snapshot churn",
-		Scale:      0.2,
-		QuickScale: 0.08,
+		Name:         "baseline",
+		Summary:      "the paper's calibrated Internet: no injected faults, 2% snapshot churn",
+		Scale:        0.2,
+		QuickScale:   0.08,
+		Longitudinal: true,
 	},
 	{
 		Name:       "ipv6-heavy",
@@ -102,6 +129,13 @@ var presets = []Preset{
 		Scale:      0.2,
 		QuickScale: 0.08,
 		Churn:      0.25,
+		EpochChurn: topo.EpochChurn{
+			Renumber: 0.25,
+			Reboot:   0.10,
+			WireDown: 0.08,
+			WireUp:   0.50,
+		},
+		Longitudinal: true,
 	},
 	{
 		Name:       "megascale",
@@ -120,6 +154,18 @@ func Names() []string {
 	out := make([]string, len(presets))
 	for i, p := range presets {
 		out[i] = p.Name
+	}
+	return out
+}
+
+// LongitudinalNames returns the presets the CI longitudinal matrix pins, in
+// canonical order.
+func LongitudinalNames() []string {
+	var out []string
+	for _, p := range presets {
+		if p.Longitudinal {
+			out = append(out, p.Name)
+		}
 	}
 	return out
 }

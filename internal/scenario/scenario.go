@@ -104,11 +104,15 @@ type Result struct {
 type Report struct {
 	// Scenarios holds one Result per run preset, in canonical order.
 	Scenarios []*Result `json:"scenarios"`
+	// Longitudinal holds one multi-epoch result per (preset, epochs) run, in
+	// canonical order — the CI longitudinal matrix contributes these.
+	Longitudinal []*LongitudinalResult `json:"longitudinal,omitempty"`
 }
 
 // MarshalIndent renders the report as the canonical SCENARIOS.json bytes.
 func (r *Report) MarshalIndent() ([]byte, error) {
 	SortResults(r.Scenarios)
+	SortLongitudinal(r.Longitudinal)
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return nil, err
@@ -131,9 +135,11 @@ func Merge(parts ...*Report) *Report {
 	for _, p := range parts {
 		if p != nil {
 			out.Scenarios = append(out.Scenarios, p.Scenarios...)
+			out.Longitudinal = append(out.Longitudinal, p.Longitudinal...)
 		}
 	}
 	SortResults(out.Scenarios)
+	SortLongitudinal(out.Longitudinal)
 	return out
 }
 
@@ -146,14 +152,19 @@ func Run(name string, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("scenario: unknown preset %q (have: %s)",
 			name, strings.Join(Names(), ", "))
 	}
+	return runPreset(p, opts)
+}
 
-	cfg := topo.Default()
+// resolveConfig turns a preset and run options into the world configuration,
+// also reporting whether the quick (CI-sized) variant was selected.
+func resolveConfig(p Preset, opts Options) (cfg topo.Config, quick bool) {
+	cfg = topo.Default()
 	if opts.Seed != 0 {
 		cfg.Seed = opts.Seed
 	}
 	// An explicit Scale overrides Quick entirely (sizing and sampling), as
 	// the Options doc promises.
-	quick := opts.Quick && opts.Scale <= 0
+	quick = opts.Quick && opts.Scale <= 0
 	switch {
 	case opts.Scale > 0:
 		cfg.Scale = opts.Scale
@@ -165,10 +176,14 @@ func Run(name string, opts Options) (*Result, error) {
 	if p.Tune != nil {
 		p.Tune(&cfg)
 	}
+	return cfg, quick
+}
+
+// envOptions assembles the experiments options for a resolved preset world.
+func envOptions(p Preset, cfg topo.Config, opts Options) experiments.Options {
 	faults := p.Faults
 	faults.Seed = cfg.Seed
-
-	env, err := experiments.BuildEnv(experiments.Options{
+	return experiments.Options{
 		Topo: cfg,
 		Scan: experiments.ScanOptions{
 			Workers:     opts.Workers,
@@ -177,15 +192,23 @@ func Run(name string, opts Options) (*Result, error) {
 		},
 		ChurnFraction: p.Churn,
 		Faults:        faults,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("scenario %s: %w", name, err)
 	}
-	return score(p, cfg, quick, env), nil
 }
 
-// score assembles the Result from a measured environment.
-func score(p Preset, cfg topo.Config, quick bool, env *experiments.Env) *Result {
+// runPreset measures one (possibly sweep-modified) preset and scores it.
+func runPreset(p Preset, opts Options) (*Result, error) {
+	cfg, quick := resolveConfig(p, opts)
+	env, err := experiments.BuildEnv(envOptions(p, cfg, opts))
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", p.Name, err)
+	}
+	return score(p, cfg, quick, env, env.World.Truth), nil
+}
+
+// score assembles the Result from a measured environment, judged against the
+// supplied ground truth (the world's live truth for single-snapshot runs, a
+// per-epoch snapshot for longitudinal ones).
+func score(p Preset, cfg topo.Config, quick bool, env *experiments.Env, truth *topo.Truth) *Result {
 	res := &Result{
 		Scenario:    p.Name,
 		Summary:     p.Summary,
@@ -201,9 +224,9 @@ func score(p Preset, cfg topo.Config, quick bool, env *experiments.Env) *Result 
 	res.DualStackSets = len(env.DualStackSets())
 
 	truthFor := map[ident.Protocol]map[string][]netip.Addr{
-		ident.SSH:  env.World.Truth.SSHAddrs,
-		ident.BGP:  env.World.Truth.BGPAddrs,
-		ident.SNMP: env.World.Truth.SNMPAddrs,
+		ident.SSH:  truth.SSHAddrs,
+		ident.BGP:  truth.BGPAddrs,
+		ident.SNMP: truth.SNMPAddrs,
 	}
 	for _, proto := range []ident.Protocol{ident.SSH, ident.BGP, ident.SNMP} {
 		// Score the datasets the analysis actually consumes: the

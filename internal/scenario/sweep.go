@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parameter sweeps: promote a scalar preset knob to an axis and emit the
+// per-axis degradation curve — the Figure-style counterpart of the
+// single-point scenario scorecards. CI's nightly sweep job runs the loss
+// axis; the churn axis rides on the same machinery.
+
+// SweepAxes lists the sweepable axes.
+var SweepAxes = []string{"loss", "churn"}
+
+// SweepPoint is one axis value's full scorecard.
+type SweepPoint struct {
+	// Value is the axis value as a fraction (0.05 = 5%).
+	Value float64 `json:"value"`
+	// Result is the standard single-snapshot scorecard at that value.
+	Result *Result `json:"result"`
+}
+
+// SweepReport is one axis sweep — the SWEEP-<axis>.json artifact.
+type SweepReport struct {
+	// Axis is the swept knob ("loss": per-wire packet loss; "churn": the
+	// snapshot-gap churn fraction).
+	Axis string `json:"axis"`
+	// Scenario is the base preset every point starts from.
+	Scenario string `json:"scenario"`
+	// Points holds the curve in ascending axis order.
+	Points []*SweepPoint `json:"points"`
+}
+
+// RunSweep runs the named preset once per axis value, overriding only the
+// swept knob, and returns the degradation curve. Values are fractions and
+// must be ascending; every point reuses the preset's scales, tuning, and
+// remaining faults, so the curve isolates exactly one axis.
+func RunSweep(axis, name string, values []float64, opts Options) (*SweepReport, error) {
+	p, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown preset %q (have: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("scenario: sweep needs at least one value")
+	}
+	rep := &SweepReport{Axis: axis, Scenario: p.Name}
+	for i, v := range values {
+		if v < 0 || v >= 1 {
+			return nil, fmt.Errorf("scenario: sweep value %v out of [0, 1)", v)
+		}
+		if i > 0 && v <= values[i-1] {
+			return nil, fmt.Errorf("scenario: sweep values must be ascending, got %v after %v", v, values[i-1])
+		}
+		q := p
+		switch axis {
+		case "loss":
+			q.Faults.LossRate = v
+		case "churn":
+			q.Churn = v
+			if v == 0 {
+				// Preset.Churn uses 0 as "experiments default (2%)"; a swept
+				// zero means literally no churn, which negative expresses.
+				q.Churn = -1
+			}
+		default:
+			return nil, fmt.Errorf("scenario: unknown sweep axis %q (have: %s)",
+				axis, strings.Join(SweepAxes, ", "))
+		}
+		res, err := runPreset(q, opts)
+		if err != nil {
+			return nil, fmt.Errorf("scenario sweep %s=%v: %w", axis, v, err)
+		}
+		rep.Points = append(rep.Points, &SweepPoint{Value: v, Result: res})
+	}
+	return rep, nil
+}
+
+// RenderText prints the sweep as a degradation-curve table.
+func (r *SweepReport) RenderText() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sweep %s on %s (%d points)\n", r.Axis, r.Scenario, len(r.Points))
+	fmt.Fprintf(&sb, "  %7s %9s %9s %9s %9s %9s %9s\n",
+		r.Axis, "ssh-prec", "ssh-cov", "bgp-cov", "snmp-cov", "union-v4", "dual")
+	for _, pt := range r.Points {
+		cov := map[string]float64{}
+		prec := map[string]float64{}
+		for _, p := range pt.Result.Protocols {
+			cov[p.Protocol] = p.Coverage
+			prec[p.Protocol] = p.Precision
+		}
+		fmt.Fprintf(&sb, "  %6.1f%% %9.4f %9.4f %9.4f %9.4f %9d %9d\n",
+			pt.Value*100, prec["SSH"], cov["SSH"], cov["BGP"], cov["SNMPv3"],
+			pt.Result.UnionSetsV4, pt.Result.DualStackSets)
+	}
+	return sb.String()
+}

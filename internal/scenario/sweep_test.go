@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRunSweepLossDegradesCoverage(t *testing.T) {
+	rep, err := RunSweep("loss", "baseline", []float64{0.0, 0.20}, tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Axis != "loss" || rep.Scenario != "baseline" || len(rep.Points) != 2 {
+		t.Fatalf("unexpected sweep shape: %+v", rep)
+	}
+	worse := 0
+	for _, proto := range []string{"SSH", "BGP", "SNMPv3"} {
+		if find(t, rep.Points[1].Result, proto).Coverage < find(t, rep.Points[0].Result, proto).Coverage {
+			worse++
+		}
+	}
+	if worse == 0 {
+		t.Fatal("20% loss did not reduce coverage for any protocol")
+	}
+}
+
+func TestRunSweepChurnAxis(t *testing.T) {
+	rep, err := RunSweep("churn", "baseline", []float64{0.02, 0.30}, tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("want 2 points, got %d", len(rep.Points))
+	}
+	// A swept zero must mean literally no churn, not the 2% default the
+	// preset's zero value would select downstream.
+	zero, err := RunSweep("churn", "baseline", []float64{0}, tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(zero.Points[0].Result, rep.Points[0].Result) {
+		t.Fatal("churn=0 sweep point measured the same world as churn=2%")
+	}
+	// Heavier churn between the snapshots leaves more stale identifiers in
+	// the union: SSH precision must not improve.
+	lo := find(t, rep.Points[0].Result, "SSH")
+	hi := find(t, rep.Points[1].Result, "SSH")
+	if hi.FalsePairs < lo.FalsePairs {
+		t.Fatalf("churn 30%% produced fewer SSH false pairs (%d) than 2%% (%d)",
+			hi.FalsePairs, lo.FalsePairs)
+	}
+}
+
+func TestRunSweepDeterministic(t *testing.T) {
+	a, err := RunSweep("loss", "baseline", []float64{0.05}, tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := tinyOpts
+	par.Parallelism = 1
+	b, err := RunSweep("loss", "baseline", []float64{0.05}, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("sweep differs between sequential and pipelined collection")
+	}
+}
+
+func TestRunSweepValidation(t *testing.T) {
+	if _, err := RunSweep("loss", "no-such-world", []float64{0.05}, tinyOpts); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if _, err := RunSweep("gravity", "baseline", []float64{0.05}, tinyOpts); err == nil {
+		t.Fatal("unknown axis accepted")
+	}
+	if _, err := RunSweep("loss", "baseline", nil, tinyOpts); err == nil {
+		t.Fatal("empty value list accepted")
+	}
+	if _, err := RunSweep("loss", "baseline", []float64{0.2, 0.1}, tinyOpts); err == nil {
+		t.Fatal("descending values accepted")
+	}
+	if _, err := RunSweep("loss", "baseline", []float64{1.5}, tinyOpts); err == nil {
+		t.Fatal("out-of-range value accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package topo
+
+import (
+	"net/netip"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// epochWorld builds a small world for churn tests.
+func epochWorld(t *testing.T) *World {
+	t.Helper()
+	cfg := Default()
+	cfg.Scale = 0.05
+	w, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// stormSpec is a heavy churn spec so every mechanism fires at test scale.
+var stormSpec = EpochChurn{Renumber: 0.3, Reboot: 0.2, WireDown: 0.2, WireUp: 0.5}
+
+// checkTruthBound asserts the lineage invariant: every ground-truth address
+// is currently bound to exactly the device the truth claims.
+func checkTruthBound(t *testing.T, w *World) {
+	t.Helper()
+	for name, m := range map[string]map[string][]netip.Addr{
+		"ssh": w.Truth.SSHAddrs, "bgp": w.Truth.BGPAddrs, "snmp": w.Truth.SNMPAddrs,
+	} {
+		for id, addrs := range m {
+			for _, a := range addrs {
+				d := w.Fabric.Lookup(a)
+				if d == nil || d.ID() != id {
+					got := "<unbound>"
+					if d != nil {
+						got = d.ID()
+					}
+					t.Fatalf("%s truth: %s claims %s but fabric answers with %s", name, id, a, got)
+				}
+			}
+		}
+	}
+}
+
+func TestApplyEpochChurnMutatesAndKeepsLineage(t *testing.T) {
+	w := epochWorld(t)
+	devicesBefore := w.Fabric.NumDevices()
+	checkTruthBound(t, w)
+
+	st := w.ApplyEpochChurn(stormSpec, 1)
+	if st.Renumbered == 0 || st.Rebooted == 0 || st.WiresDown == 0 {
+		t.Fatalf("storm spec left a mechanism idle: %+v", st)
+	}
+	if w.Fabric.NumDevices() <= devicesBefore {
+		t.Fatalf("renumbering should provision replacement devices: %d -> %d",
+			devicesBefore, w.Fabric.NumDevices())
+	}
+	checkTruthBound(t, w)
+
+	// A later epoch restores some dark wires; lineage must survive that too.
+	st2 := w.ApplyEpochChurn(stormSpec, 2)
+	if st2.WiresUp == 0 {
+		t.Fatalf("second epoch restored no wires despite WireUp=%v: %+v", stormSpec.WireUp, st2)
+	}
+	checkTruthBound(t, w)
+}
+
+func TestApplyEpochChurnZeroSpecIsNoop(t *testing.T) {
+	w := epochWorld(t)
+	before := snapshotSorted(w.Truth)
+	if st := w.ApplyEpochChurn(EpochChurn{}, 1); st != (EpochChurnStats{}) {
+		t.Fatalf("zero spec mutated the world: %+v", st)
+	}
+	if !reflect.DeepEqual(before, snapshotSorted(w.Truth)) {
+		t.Fatal("zero spec changed the ground truth")
+	}
+}
+
+func TestApplyEpochChurnDeterministic(t *testing.T) {
+	run := func() (EpochChurnStats, map[string][]string) {
+		w := epochWorld(t)
+		st := w.ApplyEpochChurn(stormSpec, 1)
+		return st, snapshotSorted(w.Truth)
+	}
+	st1, truth1 := run()
+	st2, truth2 := run()
+	if st1 != st2 {
+		t.Fatalf("stats differ between identical runs: %+v vs %+v", st1, st2)
+	}
+	if !reflect.DeepEqual(truth1, truth2) {
+		t.Fatal("ground truth differs between identical runs")
+	}
+}
+
+func TestTruthSnapshotIsDeep(t *testing.T) {
+	w := epochWorld(t)
+	snap := w.Truth.Snapshot()
+	before := snapshotSorted(snap)
+	w.ApplyEpochChurn(stormSpec, 1)
+	if !reflect.DeepEqual(before, snapshotSorted(snap)) {
+		t.Fatal("churn after Snapshot changed the snapshot")
+	}
+}
+
+// snapshotSorted flattens a Truth into a comparable, sorted form.
+func snapshotSorted(tr *Truth) map[string][]string {
+	out := make(map[string][]string)
+	add := func(prefix string, m map[string][]netip.Addr) {
+		for id, addrs := range m {
+			if len(addrs) == 0 {
+				continue
+			}
+			strs := make([]string, len(addrs))
+			for i, a := range addrs {
+				strs[i] = a.String()
+			}
+			sort.Strings(strs)
+			out[prefix+id] = strs
+		}
+	}
+	add("ssh/", tr.SSHAddrs)
+	add("bgp/", tr.BGPAddrs)
+	add("snmp/", tr.SNMPAddrs)
+	return out
+}

@@ -87,6 +87,7 @@ type World struct {
 	v6Bound    []netip.Addr
 
 	churnable []churnRecord
+	darkWires []darkWire
 	decoyAS   *AS
 }
 
