@@ -33,6 +33,7 @@ import (
 	"aliaslimit/internal/experiments"
 	"aliaslimit/internal/ident"
 	"aliaslimit/internal/midar"
+	"aliaslimit/internal/resolver"
 	"aliaslimit/internal/scenario"
 	"aliaslimit/internal/speedtrap"
 	"aliaslimit/internal/topo"
@@ -79,6 +80,12 @@ type Options struct {
 	// the Censys snapshot and the active scan; 0 picks 2%, negative
 	// disables churn.
 	ChurnFraction float64
+	// Backend names the alias-resolution strategy every analysis view
+	// routes through: "batch" (default), "streaming" (observations consumed
+	// online while the scans are in flight), or "sharded" (identifier-space
+	// partitioning across cores). All backends produce byte-identical alias
+	// sets; see BackendNames.
+	Backend string
 }
 
 // Study is a completed measurement: world, datasets, and analyses.
@@ -98,6 +105,10 @@ func Run(opts Options) (*Study, error) {
 	} else {
 		cfg.Scale = 0.25
 	}
+	backend, err := resolver.New(opts.Backend, 0)
+	if err != nil {
+		return nil, fmt.Errorf("aliaslimit: %w", err)
+	}
 	env, err := experiments.BuildEnv(experiments.Options{
 		Topo: cfg,
 		Scan: experiments.ScanOptions{
@@ -106,12 +117,18 @@ func Run(opts Options) (*Study, error) {
 			Parallelism: opts.Parallelism,
 		},
 		ChurnFraction: opts.ChurnFraction,
+		Backend:       backend,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Study{env: env}, nil
 }
+
+// BackendNames lists the pluggable resolver backends in canonical order.
+// Every backend produces byte-identical alias sets on identical inputs —
+// they differ in execution strategy only (see internal/resolver).
+func BackendNames() []string { return resolver.Names() }
 
 // Env exposes the measured environment for the repository's own
 // benchmarking and diagnostic tools (cmd/benchtables). It returns an

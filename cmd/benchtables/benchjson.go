@@ -11,6 +11,7 @@ import (
 	"aliaslimit"
 	"aliaslimit/internal/alias"
 	"aliaslimit/internal/ident"
+	"aliaslimit/internal/resolver"
 )
 
 // benchEntry is one measured operation in BENCH_analysis.json.
@@ -107,6 +108,26 @@ func writeBenchJSON(path string, scale float64, seed uint64, workers, parallelis
 			)
 		}),
 	)
+
+	// Per-backend resolution cost on identical inputs: the scorecard behind
+	// the README's backend comparison and the bench-regression gate's
+	// per-backend entries.
+	for _, name := range aliaslimit.BackendNames() {
+		be, err := resolver.New(name, 0)
+		if err != nil {
+			return err
+		}
+		rep.Results = append(rep.Results,
+			measure("resolve_"+name+"_group", func() { be.Group(env.Both.Obs[ident.SSH]) }),
+			measure("resolve_"+name+"_merge", func() {
+				be.Merge(
+					env.Both.NonSingletonFamilySets(ident.SSH, true),
+					env.Both.NonSingletonFamilySets(ident.BGP, true),
+					env.Active.NonSingletonFamilySets(ident.SNMP, true),
+				)
+			}),
+		)
+	}
 	for _, id := range study.TableIDs() {
 		id := id
 		name := fmt.Sprintf("table%c_render", id[len(id)-1])

@@ -51,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Uint64("seed", 1, "world seed")
 	workers := fs.Int("workers", 256, "scan concurrency")
 	parallelism := fs.Int("parallelism", 0, "concurrent protocol sweeps (0 = all at once, 1 = sequential)")
+	backend := fs.String("backend", "", "resolver backend: batch|streaming|sharded (default batch)")
 	table := fs.String("table", "", "regenerate a single table (1-6)")
 	figure := fs.String("figure", "", "regenerate a single figure (3-6)")
 	extensions := fs.Bool("extensions", false, "also run the future-work extension experiments")
@@ -80,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	start := time.Now()
 	study, err := aliaslimit.Run(aliaslimit.Options{
 		Seed: *seed, Scale: *scale, Workers: *workers, Parallelism: *parallelism,
+		Backend: *backend,
 	})
 	if err != nil {
 		return err

@@ -51,6 +51,9 @@ func TestRunBenchJSON(t *testing.T) {
 		"run_full": false, "render_all_cold": false, "render_all_warm": false,
 		"grouping_union_ssh": false, "merge_union_v4": false,
 		"table3_render": false, "figure6_render": false,
+		"resolve_batch_group": false, "resolve_batch_merge": false,
+		"resolve_streaming_group": false, "resolve_streaming_merge": false,
+		"resolve_sharded_group": false, "resolve_sharded_merge": false,
 	}
 	for _, r := range rep.Results {
 		if _, tracked := want[r.Name]; tracked {
@@ -76,5 +79,26 @@ func TestRunUnknownTable(t *testing.T) {
 	}
 	if err := run([]string{"-h"}, &stdout, &stderr); !errors.Is(err, flag.ErrHelp) {
 		t.Fatalf("-h: want flag.ErrHelp, got %v", err)
+	}
+}
+
+// TestRunBackendFlag renders a table through a non-default resolver backend
+// and rejects unknown backend names.
+func TestRunBackendFlag(t *testing.T) {
+	var batch, streaming, stderr bytes.Buffer
+	if err := run([]string{"-scale", "0.05", "-seed", "2", "-workers", "16",
+		"-table", "4"}, &batch, &stderr); err != nil {
+		t.Fatalf("batch run: %v (stderr: %s)", err, stderr.String())
+	}
+	if err := run([]string{"-scale", "0.05", "-seed", "2", "-workers", "16",
+		"-backend", "streaming", "-table", "4"}, &streaming, &stderr); err != nil {
+		t.Fatalf("streaming run: %v (stderr: %s)", err, stderr.String())
+	}
+	if batch.String() != streaming.String() {
+		t.Fatalf("table 4 differs across backends:\n%s\n---\n%s", batch.String(), streaming.String())
+	}
+	var stdout bytes.Buffer
+	if err := run([]string{"-scale", "0.05", "-backend", "quantum"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown backend accepted")
 	}
 }

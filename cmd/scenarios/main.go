@@ -7,13 +7,19 @@
 //	scenarios -run baseline                  # one scenario, text scorecard
 //	scenarios -run all -quick -json SCENARIOS.json
 //	scenarios -run churn-storm -epochs 5     # longitudinal: N snapshot rounds
+//	scenarios -run baseline -backend streaming
+//	scenarios -run all -quick -backend all   # every preset on every resolver
+//	                                         # backend; byte-identical alias
+//	                                         # sets enforced
 //	scenarios -run baseline -sweep loss=1,5,10,20,30 -json SWEEP-loss.json
+//	scenarios -run churn-storm -sweep decay=30,50,70,90 -json SWEEP-decay.json
 //	scenarios -merge 'SCENARIOS-*.json' -json SCENARIOS.json
 //
 // The CI scenario-matrix job runs every preset with -quick -json, the
-// longitudinal job runs the pinned presets with -epochs 5, and both sets of
-// per-run files merge into the SCENARIOS.json artifact with -merge. The
-// nightly sweep job emits per-axis degradation curves with -sweep.
+// longitudinal job runs the pinned presets with -epochs 5, the
+// backend-compare job runs the catalog with -backend all, and the per-run
+// files merge into the SCENARIOS.json artifact with -merge. The nightly
+// sweep job emits per-axis degradation curves with -sweep.
 package main
 
 import (
@@ -62,7 +68,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	parallelism := fs.Int("parallelism", 0, "concurrent protocol sweeps (0 = all at once)")
 	epochs := fs.Int("epochs", 1, "snapshot rounds per scenario; >1 runs the longitudinal pipeline")
 	decay := fs.Float64("decay", 0, "decay factor for the longitudinal decay-weighted merge (0 = default 0.5)")
-	sweep := fs.String("sweep", "", "axis sweep, e.g. loss=1,5,10,20,30 (percent); runs the -run preset per value")
+	backend := fs.String("backend", "", "resolver backend: batch|streaming|sharded (default batch), or 'all' to run every backend and require byte-identical alias sets")
+	sweep := fs.String("sweep", "", "axis sweep, e.g. loss=1,5,10,20,30 (percent) or epochs=2,3,5; runs the -run preset per value")
 	jsonPath := fs.String("json", "", "write the machine-readable report to this path (- for stdout)")
 	merge := fs.String("merge", "", "merge existing report files matching this glob instead of running")
 	if err := fs.Parse(args); err != nil {
@@ -78,6 +85,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Quick:       *quick,
 		Workers:     *workers,
 		Parallelism: *parallelism,
+		Backend:     *backend,
+	}
+	backends := []string{*backend}
+	if *backend == "all" {
+		backends = scenario.BackendNames()
 	}
 	switch {
 	case *list:
@@ -85,6 +97,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	case *merge != "":
 		return mergeReports(*merge, *jsonPath, stdout, stderr)
 	case *sweep != "":
+		if *backend == "all" {
+			return fmt.Errorf("-sweep runs one backend at a time; pick one of %s",
+				strings.Join(scenario.BackendNames(), "|"))
+		}
 		return runSweep(*sweep, *runName, opts, *jsonPath, stdout, stderr)
 	case *runName != "":
 		if *epochs > 1 {
@@ -92,9 +108,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 				Options: opts,
 				Epochs:  *epochs,
 				Decay:   *decay,
-			}, *jsonPath, stdout, stderr)
+			}, backends, *jsonPath, stdout, stderr)
 		}
-		return runScenarios(*runName, opts, *jsonPath, stdout, stderr)
+		return runScenarios(*runName, opts, backends, *jsonPath, stdout, stderr)
 	default:
 		fmt.Fprintln(stderr, "scenarios: one of -list, -run, -sweep, or -merge is required")
 		fs.Usage()
@@ -110,22 +126,40 @@ func printCatalog(w io.Writer) error {
 	return nil
 }
 
-// runScenarios executes one preset or the whole catalog and emits the
-// scorecards as text or as a JSON report.
-func runScenarios(name string, opts scenario.Options, jsonPath string, stdout, stderr io.Writer) error {
+// runScenarios executes one preset or the whole catalog — once per selected
+// backend — and emits the scorecards as text or as a JSON report. With more
+// than one backend, every preset's alias sets must be byte-identical across
+// backends (compared through the scorecards' SetsDigest) or the run fails.
+func runScenarios(name string, opts scenario.Options, backends []string, jsonPath string, stdout, stderr io.Writer) error {
 	names := []string{name}
 	if name == "all" {
 		names = scenario.Names()
 	}
 	rep := &scenario.Report{}
 	for _, n := range names {
-		start := time.Now()
-		res, err := scenario.Run(n, opts)
-		if err != nil {
-			return err
+		var ref *scenario.Result
+		for _, b := range backends {
+			bopts := opts
+			bopts.Backend = b
+			start := time.Now()
+			res, err := scenario.Run(n, bopts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "scenarios: %s (%s) done in %v\n",
+				n, res.Backend, time.Since(start).Round(time.Millisecond))
+			if ref == nil {
+				ref = res
+			} else if res.SetsDigest != ref.SetsDigest {
+				return fmt.Errorf("backend divergence on %s: %s alias sets (digest %.12s) differ from %s (%.12s)",
+					n, res.Backend, res.SetsDigest, ref.Backend, ref.SetsDigest)
+			}
+			rep.Scenarios = append(rep.Scenarios, res)
 		}
-		fmt.Fprintf(stderr, "scenarios: %s done in %v\n", n, time.Since(start).Round(time.Millisecond))
-		rep.Scenarios = append(rep.Scenarios, res)
+		if len(backends) > 1 {
+			fmt.Fprintf(stderr, "scenarios: %s byte-identical across %s\n",
+				n, strings.Join(backends, ", "))
+		}
 	}
 	if jsonPath == "" {
 		for _, r := range rep.Scenarios {
@@ -137,22 +171,43 @@ func runScenarios(name string, opts scenario.Options, jsonPath string, stdout, s
 }
 
 // runLongitudinal executes one preset (or the pinned longitudinal set with
-// "all") over several epochs and emits the longitudinal scorecards.
-func runLongitudinal(name string, opts scenario.LongitudinalOptions, jsonPath string, stdout, stderr io.Writer) error {
+// "all") over several epochs — once per selected backend, with per-epoch
+// byte-identity enforced across backends — and emits the longitudinal
+// scorecards.
+func runLongitudinal(name string, opts scenario.LongitudinalOptions, backends []string, jsonPath string, stdout, stderr io.Writer) error {
 	names := []string{name}
 	if name == "all" {
 		names = scenario.LongitudinalNames()
 	}
 	rep := &scenario.Report{}
 	for _, n := range names {
-		start := time.Now()
-		res, err := scenario.RunLongitudinal(n, opts)
-		if err != nil {
-			return err
+		var ref *scenario.LongitudinalResult
+		for _, b := range backends {
+			bopts := opts
+			bopts.Backend = b
+			start := time.Now()
+			res, err := scenario.RunLongitudinal(n, bopts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "scenarios: %s x%d epochs (%s) done in %v\n",
+				n, opts.Epochs, res.Backend, time.Since(start).Round(time.Millisecond))
+			if ref == nil {
+				ref = res
+			} else {
+				for i, e := range res.Epochs {
+					if e.SetsDigest != ref.Epochs[i].SetsDigest {
+						return fmt.Errorf("backend divergence on %s epoch %d: %s alias sets differ from %s",
+							n, i, res.Backend, ref.Backend)
+					}
+				}
+			}
+			rep.Longitudinal = append(rep.Longitudinal, res)
 		}
-		fmt.Fprintf(stderr, "scenarios: %s x%d epochs done in %v\n",
-			n, opts.Epochs, time.Since(start).Round(time.Millisecond))
-		rep.Longitudinal = append(rep.Longitudinal, res)
+		if len(backends) > 1 {
+			fmt.Fprintf(stderr, "scenarios: %s epochs byte-identical across %s\n",
+				n, strings.Join(backends, ", "))
+		}
 	}
 	if jsonPath == "" {
 		for _, r := range rep.Longitudinal {
@@ -163,12 +218,13 @@ func runLongitudinal(name string, opts scenario.LongitudinalOptions, jsonPath st
 	return writeReport(rep, jsonPath, stdout, stderr)
 }
 
-// runSweep parses an axis=values spec (percent values), runs the sweep on the
-// -run preset (baseline when unset), and emits the degradation curve.
+// runSweep parses an axis=values spec (percent values, except the epochs
+// axis which takes snapshot-round counts), runs the sweep on the -run preset
+// (baseline when unset), and emits the degradation curve.
 func runSweep(spec, name string, opts scenario.Options, jsonPath string, stdout, stderr io.Writer) error {
 	axis, valuesStr, ok := strings.Cut(spec, "=")
 	if !ok {
-		return fmt.Errorf("bad -sweep %q: want axis=v1,v2,... (percent values)", spec)
+		return fmt.Errorf("bad -sweep %q: want axis=v1,v2,... (percent values; epoch counts for epochs)", spec)
 	}
 	var values []float64
 	for _, f := range strings.Split(valuesStr, ",") {
@@ -176,7 +232,10 @@ func runSweep(spec, name string, opts scenario.Options, jsonPath string, stdout,
 		if err != nil {
 			return fmt.Errorf("bad -sweep value %q: %w", f, err)
 		}
-		values = append(values, v/100)
+		if axis != "epochs" {
+			v /= 100
+		}
+		values = append(values, v)
 	}
 	if name == "" || name == "all" {
 		name = "baseline"

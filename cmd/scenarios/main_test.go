@@ -195,6 +195,70 @@ func TestSweepCLI(t *testing.T) {
 	}
 }
 
+// TestBackendFlag runs one preset on a named backend and on all of them,
+// checking the scorecards and the byte-identity enforcement path.
+func TestBackendFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-run", "baseline", "-scale", "0.05", "-workers", "32",
+		"-backend", "streaming"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run -backend streaming: %v (stderr: %s)", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "backend=streaming") {
+		t.Errorf("scorecard does not name the backend:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	err = run([]string{"-run", "baseline", "-scale", "0.05", "-workers", "32",
+		"-backend", "all", "-json", "-"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run -backend all: %v (stderr: %s)", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "byte-identical across") {
+		t.Errorf("-backend all did not report the equivalence check:\n%s", stderr.String())
+	}
+	rep, err := scenario.ParseReport(stdout.Bytes())
+	if err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if len(rep.Scenarios) != len(scenario.BackendNames()) {
+		t.Fatalf("got %d results, want one per backend (%d)",
+			len(rep.Scenarios), len(scenario.BackendNames()))
+	}
+	for i, want := range scenario.BackendNames() {
+		if rep.Scenarios[i].Backend != want {
+			t.Errorf("result %d has backend %q, want %q (canonical order)",
+				i, rep.Scenarios[i].Backend, want)
+		}
+	}
+
+	if err := run([]string{"-run", "baseline", "-scale", "0.05", "-backend", "quantum"},
+		&stdout, &stderr); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if err := run([]string{"-run", "baseline", "-sweep", "loss=0,10", "-scale", "0.05",
+		"-backend", "all"}, &stdout, &stderr); err == nil {
+		t.Fatal("-sweep with -backend all accepted")
+	}
+}
+
+// TestSweepEpochsCLI sweeps the longitudinal depth through the CLI: values
+// are epoch counts, not percentages.
+func TestSweepEpochsCLI(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-run", "churn-storm", "-sweep", "epochs=2,3", "-scale", "0.05",
+		"-workers", "32", "-json", "-"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	for _, want := range []string{`"axis": "epochs"`, `"value": 2`, `"value": 3`, `"longitudinal"`} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("epochs sweep JSON missing %q", want)
+		}
+	}
+}
+
 // TestCIMatrixCoversCatalog pins the GitHub Actions scenario matrix to the
 // preset catalog: adding a preset without adding it to the CI matrix (or
 // vice versa) fails here instead of silently shrinking coverage.
@@ -246,17 +310,68 @@ func TestCILongitudinalCoversPresets(t *testing.T) {
 	}
 }
 
-// TestCISweepJobPresent pins the nightly sweep job and its loss axis.
+// TestCISweepJobPresent pins the nightly sweep job and its axes: loss and
+// churn for the single-snapshot layer, decay and epochs for the longitudinal
+// one.
 func TestCISweepJobPresent(t *testing.T) {
 	data, err := os.ReadFile(filepath.Join("..", "..", ".github", "workflows", "ci.yml"))
 	if err != nil {
 		t.Skipf("ci.yml not readable: %v", err)
 	}
 	text := string(data)
-	for _, want := range []string{"workflow_dispatch:", "schedule:", "sweep:", "-sweep loss=1,5,10,20,30"} {
+	for _, want := range []string{"workflow_dispatch:", "schedule:", "sweep:",
+		"-sweep loss=1,5,10,20,30", "-sweep churn=", "-sweep decay=", "-sweep epochs="} {
 		if !strings.Contains(text, want) {
 			t.Errorf("ci.yml missing %q for the nightly sweep job", want)
 		}
+	}
+}
+
+// TestCIBackendCoversCatalog pins the CI backend jobs to the resolver
+// registry: every backend must appear in the backend-compare matrix, and the
+// byte-identity gate must run the full cross-backend comparison.
+func TestCIBackendCoversCatalog(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", ".github", "workflows", "ci.yml"))
+	if err != nil {
+		t.Skipf("ci.yml not readable: %v", err)
+	}
+	text := string(data)
+	idx := strings.Index(text, "backend-compare:")
+	if idx < 0 {
+		t.Fatal("ci.yml has no backend-compare job")
+	}
+	end := strings.Index(text[idx:], "\n  backend-equivalence:")
+	if end < 0 {
+		t.Fatal("ci.yml has no backend-equivalence job")
+	}
+	job := text[idx : idx+end]
+	names := scenario.BackendNames()
+	if len(names) < 3 {
+		t.Fatalf("backend registry too small: %v", names)
+	}
+	for _, name := range names {
+		if name == "batch" {
+			// The default backend's catalog run lives in the scenario-matrix
+			// job; a second batch leg here would duplicate both the compute
+			// and the merged report's entries. The job must still acknowledge
+			// where batch coverage comes from.
+			if strings.Contains(job, "- "+name+"\n") {
+				t.Errorf("backend-compare matrix re-runs the %q backend the scenario-matrix job already covers", name)
+			}
+			if !strings.Contains(job, name) {
+				t.Errorf("backend-compare job does not document %q coverage", name)
+			}
+			continue
+		}
+		if !strings.Contains(job, "- "+name) {
+			t.Errorf("backend %q missing from the ci.yml backend-compare matrix", name)
+		}
+	}
+	if !strings.Contains(job, "-backend ${{ matrix.backend }}") {
+		t.Error("backend-compare job does not thread the matrix backend into cmd/scenarios")
+	}
+	if !strings.Contains(text, "-backend all") {
+		t.Error("ci.yml never runs the cross-backend byte-identity comparison (-backend all)")
 	}
 }
 

@@ -38,5 +38,12 @@ func ExampleRunLongitudinal() {
 	}
 	fmt.Printf("%s ran %d epochs: %d survival points, %d merge strategies\n",
 		res.Scenario, len(res.Epochs), len(res.Survival), len(res.Merges))
-	// Output: baseline ran 2 epochs: 2 survival points, 2 merge strategies
+	// Output: baseline ran 2 epochs: 2 survival points, 3 merge strategies
+}
+
+// ExampleBackendNames lists the pluggable resolver backends: three
+// strategies, byte-identical alias sets.
+func ExampleBackendNames() {
+	fmt.Println(strings.Join(aliaslimit.BackendNames(), ", "))
+	// Output: batch, streaming, sharded
 }

@@ -137,6 +137,14 @@ func sortSets(sets []Set) {
 	slices.SortFunc(sets, compareSets)
 }
 
+// SortSets orders sets canonically (the same total order Group and Merge
+// apply before returning). Resolver backends that assemble sets out of
+// shards or streams use it to make their output byte-identical to the batch
+// pipeline's.
+func SortSets(sets []Set) {
+	sortSets(sets)
+}
+
 // groupPair is one interned observation: a dense identifier id and the
 // observed address.
 type groupPair struct {

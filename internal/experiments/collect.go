@@ -18,6 +18,15 @@ import (
 	"aliaslimit/internal/zmaplite"
 )
 
+// ObservationSink receives identifier observations the moment the scan
+// pipeline extracts them — while the SYN sweep and later grabs are still in
+// flight — so a streaming resolver backend can maintain alias sets online.
+// Worker pools call Observe concurrently with no ordering guarantee, so
+// implementations must be concurrency-safe and order-insensitive.
+type ObservationSink interface {
+	Observe(p ident.Protocol, o alias.Observation)
+}
+
 // ScanOptions tune the collection phase.
 type ScanOptions struct {
 	// Workers bounds service-scan concurrency; 0 picks 256.
@@ -30,6 +39,11 @@ type ScanOptions struct {
 	// setting: every sweep collects into its own shard and the shards merge
 	// in fixed protocol order.
 	Parallelism int
+	// Sink, when non-nil, is fed every extracted observation live from the
+	// scan worker goroutines. The Dataset contents are unaffected: the sink
+	// is a tap, not a detour. EnvSeries installs the streaming backend's
+	// sink here.
+	Sink ObservationSink
 }
 
 // simGrabTimeout bounds one service grab against the simulated fabric. The
@@ -141,8 +155,11 @@ func scanSSH(v *netsim.Vantage, targets []netip.Addr, opts ScanOptions) ([]alias
 	if err != nil {
 		return nil, fmt.Errorf("experiments: ssh sweep: %w", err)
 	}
-	grabs := zgrab.RunStream(v, open, &zgrab.SSHModule{Timeout: simGrabTimeout},
-		zgrab.Options{Workers: opts.Workers, DialTimeout: simGrabTimeout})
+	grabs := zgrab.RunStreamEmit(v, open, &zgrab.SSHModule{Timeout: simGrabTimeout},
+		zgrab.Options{Workers: opts.Workers, DialTimeout: simGrabTimeout},
+		emitIdent(opts.Sink, ident.SSH, func(data any) (ident.Identifier, bool) {
+			return ident.FromSSH(data.(*sshwire.ScanResult))
+		}))
 	<-done
 	var obs []alias.Observation
 	for _, g := range zgrab.Successes(grabs) {
@@ -154,6 +171,23 @@ func scanSSH(v *netsim.Vantage, targets []netip.Addr, opts ScanOptions) ([]alias
 	return obs, nil
 }
 
+// emitIdent adapts an ObservationSink into a zgrab completion tap: each
+// successful grab has its identifier extracted and streamed to the sink as
+// it completes. A nil sink disables the tap entirely.
+func emitIdent(sink ObservationSink, p ident.Protocol, extract func(any) (ident.Identifier, bool)) func(zgrab.Grab) {
+	if sink == nil {
+		return nil
+	}
+	return func(g zgrab.Grab) {
+		if !g.OK() {
+			return
+		}
+		if id, ok := extract(g.Data); ok {
+			sink.Observe(p, alias.Observation{Addr: g.Target, ID: id})
+		}
+	}
+}
+
 // scanBGP runs the two-phase passive BGP scan and extracts identifiers,
 // streaming the sweep into the OPEN collection like scanSSH.
 func scanBGP(v *netsim.Vantage, targets []netip.Addr, opts ScanOptions) ([]alias.Observation, error) {
@@ -163,8 +197,11 @@ func scanBGP(v *netsim.Vantage, targets []netip.Addr, opts ScanOptions) ([]alias
 	if err != nil {
 		return nil, fmt.Errorf("experiments: bgp sweep: %w", err)
 	}
-	grabs := zgrab.RunStream(v, open, &zgrab.BGPModule{Timeout: simGrabTimeout},
-		zgrab.Options{Workers: opts.Workers, DialTimeout: simGrabTimeout})
+	grabs := zgrab.RunStreamEmit(v, open, &zgrab.BGPModule{Timeout: simGrabTimeout},
+		zgrab.Options{Workers: opts.Workers, DialTimeout: simGrabTimeout},
+		emitIdent(opts.Sink, ident.BGP, func(data any) (ident.Identifier, bool) {
+			return ident.FromBGP(data.(*bgp.ScanResult))
+		}))
 	<-done
 	var obs []alias.Observation
 	for _, g := range zgrab.Successes(grabs) {
@@ -200,6 +237,10 @@ func scanSNMP(v *netsim.Vantage, targets []netip.Addr, opts ScanOptions) []alias
 				}
 				if id, idOK := ident.FromSNMPEngineID(res.EngineID); idOK {
 					slots[i] = slot{id: id, ok: true}
+					if opts.Sink != nil {
+						opts.Sink.Observe(ident.SNMP,
+							alias.Observation{Addr: targets[i], ID: id})
+					}
 				}
 			}
 		}()

@@ -119,13 +119,19 @@ func distinctAddrs(obs []alias.Observation, v4 *bool) []netip.Addr {
 }
 
 // Sets groups a protocol's observations into alias sets (all sizes). Cached
-// and shared once sealed — treat the result as read-only.
+// and shared once sealed — treat the result as read-only. Sealed datasets
+// group through their resolver backend; sets the streaming backend resolved
+// online during collection are served as-is.
 func (d *Dataset) Sets(p ident.Protocol) []alias.Set {
-	f := func() []alias.Set { return alias.Group(d.Obs[p]) }
 	if v := d.views; v != nil {
-		return v.groups[p].get(f)
+		return v.groups[p].get(func() []alias.Set {
+			if pre := v.pre[p]; pre != nil {
+				return pre
+			}
+			return v.backend.Group(d.Obs[p])
+		})
 	}
-	return f()
+	return alias.Group(d.Obs[p])
 }
 
 // Union merges several datasets into one named dataset; duplicate

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"aliaslimit/internal/netsim"
+	"aliaslimit/internal/resolver"
 	"aliaslimit/internal/topo"
 )
 
@@ -22,7 +23,8 @@ type Env struct {
 	// Both is Union(Active, Censys), the default analysis input.
 	Both *Dataset
 
-	views envViews
+	views   envViews
+	backend resolver.Backend
 }
 
 // Options parameterise environment construction.
@@ -42,6 +44,13 @@ type Options struct {
 	// and before either measurement campaign. The zero value injects
 	// nothing; see netsim.Faults for the determinism contract.
 	Faults netsim.Faults
+	// Backend is the alias-resolution strategy every analysis view routes
+	// through; nil selects a fresh batch backend per environment. The choice
+	// never changes any view's bytes — only the execution strategy. A
+	// streaming backend additionally has its live sink fed during
+	// collection, so the union dataset's alias sets are already grouped
+	// when the scans return.
+	Backend resolver.Backend
 }
 
 // BuildEnv generates a world and measures it from both vantage points in

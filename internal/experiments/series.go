@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"aliaslimit/internal/ident"
+	"aliaslimit/internal/resolver"
 	"aliaslimit/internal/topo"
 )
 
@@ -111,6 +113,16 @@ func (s *EnvSeries) Advance() (*Epoch, error) {
 	s.next++
 	w := s.World
 
+	// A streaming backend consumes observations online: one fresh sink per
+	// epoch taps both measurement campaigns, so the union dataset's alias
+	// sets are fully grouped the moment the scans return.
+	scanOpts := s.opts.Scan
+	var sink *resolver.Sink
+	if f, ok := s.opts.Backend.(resolver.LiveFeeder); ok {
+		sink = f.NewSink()
+		scanOpts.Sink = sink
+	}
+
 	var stats EpochStats
 	stats.Epoch = e
 	if e > 0 {
@@ -118,7 +130,7 @@ func (s *EnvSeries) Advance() (*Epoch, error) {
 		stats.EpochChurnStats = w.ApplyEpochChurn(s.opts.EpochChurn, e)
 	}
 
-	censys, err := CollectCensys(w, s.opts.Scan)
+	censys, err := CollectCensys(w, scanOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +139,7 @@ func (s *EnvSeries) Advance() (*Epoch, error) {
 		// Odd round numbers; epoch-boundary renumbering uses the even ones.
 		stats.IntraChurned = w.ApplyChurn(s.opts.ChurnFraction, 2*e+1)
 	}
-	active, err := CollectActive(w, s.opts.Scan)
+	active, err := CollectActive(w, scanOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -137,6 +149,14 @@ func (s *EnvSeries) Advance() (*Epoch, error) {
 		Censys: censys,
 		Both:   Union("Union", active, censys),
 	}
-	env.seal()
+	env.seal(s.opts.Backend)
+	if sink != nil {
+		// The sink saw the union of both campaigns — exactly Both's
+		// observations — so its online groups are Both's identifier views,
+		// byte-identical to a batch regroup of the sealed data.
+		for _, p := range ident.Protocols {
+			env.Both.preGroup(p, sink.Sets(p))
+		}
+	}
 	return &Epoch{Env: env, Stats: stats, Truth: w.Truth.Snapshot()}, nil
 }

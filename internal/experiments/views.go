@@ -7,6 +7,7 @@ import (
 	"aliaslimit/internal/alias"
 	"aliaslimit/internal/ident"
 	"aliaslimit/internal/midar"
+	"aliaslimit/internal/resolver"
 	"aliaslimit/internal/topo"
 )
 
@@ -66,18 +67,37 @@ type datasetViews struct {
 	addrs    [numProto][3]memo[[]netip.Addr] // per-protocol address universes
 	allAddrs [3]memo[[]netip.Addr]           // cross-protocol address universes
 
-	// table is the dataset's shared address-interning table; mu serialises
-	// the MergeWith calls that reuse it.
-	mu    sync.Mutex
-	table *alias.AddrTable
+	// backend is the resolver strategy every grouping and merge in this
+	// dataset's views routes through; backends are concurrency-safe, so no
+	// extra serialisation is needed here.
+	backend resolver.Backend
+	// pre holds per-protocol alias sets resolved online during collection
+	// (the streaming backend's live sink); when present, Sets serves them
+	// instead of re-grouping the sealed observations.
+	pre [numProto][]alias.Set
 }
 
-// Seal freezes the dataset for analysis: mutation panics from here on, and
-// derived views are cached. Sealing twice is a no-op.
-func (d *Dataset) Seal() {
+// Seal freezes the dataset for analysis with the default batch resolver:
+// mutation panics from here on, and derived views are cached. Sealing twice
+// is a no-op.
+func (d *Dataset) Seal() { d.SealWith(nil) }
+
+// SealWith is Seal with an explicit resolver backend; nil selects a fresh
+// batch backend. The backend choice never changes a single byte of any view
+// — only the execution strategy (see internal/resolver).
+func (d *Dataset) SealWith(b resolver.Backend) {
 	if d.views == nil {
-		d.views = &datasetViews{table: alias.NewAddrTable()}
+		if b == nil {
+			b = resolver.NewBatch()
+		}
+		d.views = &datasetViews{backend: b}
 	}
+}
+
+// preGroup installs collection-time resolved sets for one protocol. Must be
+// called right after sealing, before any view is read.
+func (d *Dataset) preGroup(p ident.Protocol, sets []alias.Set) {
+	d.views.pre[p] = sets
 }
 
 // Sealed reports whether the dataset has been sealed.
@@ -128,9 +148,7 @@ func (d *Dataset) MergedFamily(v4 bool) []alias.Set {
 		bgpS := d.NonSingletonFamilySets(ident.BGP, v4)
 		snmp := d.NonSingletonFamilySets(ident.SNMP, v4)
 		if v := d.views; v != nil {
-			v.mu.Lock()
-			defer v.mu.Unlock()
-			return alias.MergeWith(v.table, ssh, bgpS, snmp)
+			return v.backend.Merge(ssh, bgpS, snmp)
 		}
 		return alias.Merge(ssh, bgpS, snmp)
 	}
@@ -180,19 +198,29 @@ type MIDARResult struct {
 	Tally midar.Tally
 }
 
-// seal freezes all three datasets after collection.
-func (e *Env) seal() {
-	e.Active.Seal()
-	e.Censys.Seal()
-	e.Both.Seal()
+// seal freezes all three datasets after collection on one resolver
+// strategy; nil selects batch. Stateful backends fork per dataset (and for
+// the env-level merges), so the concurrent render paths keep the merge
+// parallelism the per-dataset tables used to provide.
+func (e *Env) seal(b resolver.Backend) {
+	if b == nil {
+		b = resolver.NewBatch()
+	}
+	e.backend = resolver.Fork(b)
+	e.Active.SealWith(resolver.Fork(b))
+	e.Censys.SealWith(resolver.Fork(b))
+	e.Both.SealWith(resolver.Fork(b))
 }
+
+// Resolver returns the backend the environment's views resolve through.
+func (e *Env) Resolver() resolver.Backend { return e.backend }
 
 // UnionFamilySets returns the canonical cross-protocol union partition for
 // one family: SSH and BGP from the union dataset, SNMPv3 from the active
 // scan (its single source), merged.
 func (e *Env) UnionFamilySets(v4 bool) []alias.Set {
 	return e.views.unionFam[famIdx(v4)].get(func() []alias.Set {
-		return alias.Merge(
+		return e.backend.Merge(
 			e.Both.NonSingletonFamilySets(ident.SSH, v4),
 			e.Both.NonSingletonFamilySets(ident.BGP, v4),
 			e.Active.NonSingletonFamilySets(ident.SNMP, v4),
@@ -212,7 +240,7 @@ func (e *Env) UnionFamilyNonSingleton(v4 bool) []alias.Set {
 // identifier groups — the partition dual-stack analysis reads.
 func (e *Env) DualStackMerged() []alias.Set {
 	return e.views.dualMerged.get(func() []alias.Set {
-		return alias.Merge(
+		return e.backend.Merge(
 			e.Both.Sets(ident.SSH), e.Both.Sets(ident.BGP), e.Both.Sets(ident.SNMP))
 	})
 }

@@ -1,0 +1,43 @@
+package resolver
+
+import (
+	"sync"
+
+	"aliaslimit/internal/alias"
+)
+
+// Batch is the memoized-analysis-era implementation, now an adapter: Group
+// is alias.Group's single global (identifier, address) sort, Merge is
+// alias.MergeWith's union-find over a persistent address-interning table.
+// One Batch instance serves a whole analysis session, so repeated merges
+// over overlapping address populations (per-family, per-source, dual-stack
+// unions) reuse one hash index — the mutex serialises them, exactly as the
+// sealed views' per-dataset table used to.
+type Batch struct {
+	mu    sync.Mutex
+	table *alias.AddrTable
+}
+
+// NewBatch returns a batch backend with a fresh interning table.
+func NewBatch() *Batch {
+	return &Batch{table: alias.NewAddrTable()}
+}
+
+// Name implements Backend.
+func (b *Batch) Name() string { return "batch" }
+
+// Fork implements Forker: an independent table and mutex, so concurrent
+// analysis views don't serialise on one instance.
+func (b *Batch) Fork() Backend { return NewBatch() }
+
+// Group implements Backend via alias.Group.
+func (b *Batch) Group(obs []alias.Observation) []alias.Set {
+	return alias.Group(obs)
+}
+
+// Merge implements Backend via alias.MergeWith over the shared table.
+func (b *Batch) Merge(groups ...[]alias.Set) []alias.Set {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return alias.MergeWith(b.table, groups...)
+}

@@ -1,0 +1,106 @@
+// Package resolver turns alias resolution into a pluggable backend
+// subsystem: the step that converts protocol identifier observations into
+// alias sets — the paper's contribution — is expressed behind one interface
+// with three interchangeable, byte-identical implementations.
+//
+// # Architecture
+//
+// A Backend supplies the two primitives the analysis layer consumes:
+//
+//   - Group: cluster (address, identifier) observations into one alias set
+//     per distinct identifier (alias.Group semantics, singletons included).
+//   - Merge: consolidate alias-set partitions from several protocols or data
+//     sources into connected components — any two sets sharing an address
+//     collapse (alias.Merge semantics).
+//
+// The three backends differ only in execution strategy, never in output:
+//
+//   - batch: the memoized single-pass implementation the repository grew up
+//     with — one global (identifier, address) sort per Group, union-find
+//     over a persistent interning table per Merge. The right default for
+//     one-shot analysis over a sealed dataset.
+//   - streaming: incremental structures that consume observations one at a
+//     time, in any order, maintaining membership online — a Stream per
+//     grouping and an incremental union-find (MergeStream) per merge. The
+//     collection pipeline can feed a Sink while zmaplite/zgrab sweeps are
+//     still in flight, so alias sets exist the moment the scan ends, and
+//     the same machinery gives the longitudinal layer its "incremental"
+//     (latest-observation-wins) merge strategy.
+//   - sharded: identifier-space partitioning across worker goroutines with a
+//     deterministic cross-shard merge — the scale-out strategy. Group shards
+//     observations by identifier hash (a group never straddles shards);
+//     Merge runs per-shard union-finds whose partial partitions collapse in
+//     one final cross-shard pass.
+//
+// Every backend finishes by canonicalising through alias.SortSets, so for
+// identical inputs all three produce byte-identical alias sets at any worker
+// count — the property the scenario matrix asserts on every preset and the
+// per-backend benchmarks price.
+package resolver
+
+import (
+	"fmt"
+	"strings"
+
+	"aliaslimit/internal/alias"
+)
+
+// Backend is one alias-resolution strategy. Implementations must be safe for
+// concurrent use by multiple goroutines (the memoized analysis views call
+// them from concurrent renders) and must produce byte-identical output for
+// identical input regardless of internal concurrency.
+type Backend interface {
+	// Name is the stable identifier used by CLI flags, reports, and
+	// benchmarks ("batch", "streaming", "sharded").
+	Name() string
+	// Group clusters observations into one alias set per distinct
+	// identifier, singletons included — alias.Group semantics.
+	Group(obs []alias.Observation) []alias.Set
+	// Merge consolidates alias-set partitions: any two sets sharing an
+	// address collapse into one — alias.Merge semantics.
+	Merge(groups ...[]alias.Set) []alias.Set
+}
+
+// LiveFeeder is implemented by backends that can consume observations online
+// while collection is still in flight: the collector installs a fresh Sink
+// per measurement round and feeds it from the scan worker pools.
+type LiveFeeder interface {
+	NewSink() *Sink
+}
+
+// Forker is implemented by stateful backends whose instances serialise
+// internally (Batch's interning table and mutex). Fork returns an
+// independent instance so each sealed dataset merges under its own lock
+// instead of contending on one — output is unaffected, only parallelism.
+type Forker interface {
+	Fork() Backend
+}
+
+// Fork returns an independent instance of b when it is stateful, or b itself
+// when it is safe to share.
+func Fork(b Backend) Backend {
+	if f, ok := b.(Forker); ok {
+		return f.Fork()
+	}
+	return b
+}
+
+// Names lists the registered backends in canonical (report) order.
+func Names() []string { return []string{"batch", "streaming", "sharded"} }
+
+// New resolves a backend by name. The empty name selects the batch default;
+// workers bounds the sharded backend's concurrency (0 picks GOMAXPROCS) and
+// is ignored by the others.
+func New(name string, workers int) (Backend, error) {
+	switch name {
+	case "", "batch":
+		return NewBatch(), nil
+	case "streaming":
+		return Streaming{}, nil
+	case "sharded":
+		return Sharded{Workers: workers}, nil
+	default:
+		return nil, fmt.Errorf("resolver: unknown backend %q (have: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+}

@@ -1,0 +1,237 @@
+package resolver
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"aliaslimit/internal/alias"
+	"aliaslimit/internal/ident"
+	"aliaslimit/internal/xrand"
+)
+
+// corpus builds a deterministic synthetic observation stream: identifiers
+// shared across several addresses, addresses claimed by several identifiers,
+// duplicates, and a v4/v6 mix — every structural case the pipeline produces.
+func corpus(seed uint64, n int) []alias.Observation {
+	obs := make([]alias.Observation, 0, n)
+	sk := fmt.Sprint(seed)
+	for i := 0; i < n; i++ {
+		ik := fmt.Sprint(i)
+		id := ident.Identifier{
+			Proto:  ident.SSH,
+			Digest: fmt.Sprintf("d%04d", xrand.Hash64(sk, "id", ik)%uint64(n/4+1)),
+		}
+		var addr netip.Addr
+		ai := xrand.Hash64(sk, "addr", ik) % uint64(n/3+1)
+		if ai%5 == 0 {
+			addr = netip.AddrFrom16([16]byte{0x20, 0x01, 0xd, 0xb8, 15: byte(ai)}).
+				WithZone("")
+		} else {
+			addr = netip.AddrFrom4([4]byte{10, byte(ai >> 16), byte(ai >> 8), byte(ai)})
+		}
+		obs = append(obs, alias.Observation{Addr: addr, ID: id})
+	}
+	return obs
+}
+
+// keysOf renders a partition as its canonical key sequence.
+func keysOf(sets []alias.Set) []string {
+	out := make([]string, len(sets))
+	for i, s := range sets {
+		out[i] = string(s.Key())
+	}
+	return out
+}
+
+// requireSameSets fails unless the two partitions are byte-identical.
+func requireSameSets(t *testing.T, label string, want, got []alias.Set) {
+	t.Helper()
+	wk, gk := keysOf(want), keysOf(got)
+	if len(wk) != len(gk) {
+		t.Fatalf("%s: %d sets, want %d", label, len(gk), len(wk))
+	}
+	for i := range wk {
+		if wk[i] != gk[i] {
+			t.Fatalf("%s: set %d differs:\nwant %q\ngot  %q", label, i, want[i].Signature(), got[i].Signature())
+		}
+	}
+}
+
+// backendsUnderTest returns one instance per registered backend, including
+// several sharded worker counts.
+func backendsUnderTest() []Backend {
+	return []Backend{
+		NewBatch(),
+		Streaming{},
+		Sharded{Workers: 1},
+		Sharded{Workers: 2},
+		Sharded{Workers: 7},
+	}
+}
+
+// TestGroupEquivalence: every backend groups the same observations into
+// byte-identical alias sets, at two seeds.
+func TestGroupEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 9} {
+		obs := corpus(seed, 3000)
+		want := alias.Group(obs)
+		for _, b := range backendsUnderTest() {
+			got := b.Group(obs)
+			requireSameSets(t, fmt.Sprintf("seed %d backend %s", seed, b.Name()), want, got)
+		}
+	}
+}
+
+// TestMergeEquivalence: every backend merges the same partitions into
+// byte-identical components, at two seeds.
+func TestMergeEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 9} {
+		a := alias.Group(corpus(seed, 2000))
+		b2 := alias.Group(corpus(seed+100, 2000))
+		c := alias.Group(corpus(seed+200, 500))
+		want := alias.Merge(a, b2, c)
+		for _, b := range backendsUnderTest() {
+			got := b.Merge(a, b2, c)
+			requireSameSets(t, fmt.Sprintf("seed %d backend %s", seed, b.Name()), want, got)
+		}
+	}
+}
+
+// TestStreamConcurrentFeed: observations fed from many goroutines in racing
+// order still finalise into the batch partition — the live-collection
+// contract.
+func TestStreamConcurrentFeed(t *testing.T) {
+	obs := corpus(3, 4000)
+	want := alias.Group(obs)
+	st := NewStream()
+	var wg sync.WaitGroup
+	const feeders = 8
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			for i := f; i < len(obs); i += feeders {
+				st.Observe(obs[i])
+			}
+		}(f)
+	}
+	wg.Wait()
+	requireSameSets(t, "concurrent stream", want, st.Sets())
+	if st.Len() != len(want) {
+		t.Fatalf("stream tracked %d identifiers, want %d", st.Len(), len(want))
+	}
+}
+
+// TestMergeStreamOrderInsensitive: absorbing partitions in any order or
+// granularity yields identical components.
+func TestMergeStreamOrderInsensitive(t *testing.T) {
+	a := alias.Group(corpus(5, 1500))
+	b := alias.Group(corpus(6, 1500))
+	want := alias.Merge(a, b)
+
+	fwd := NewMergeStream()
+	fwd.Absorb(a)
+	fwd.Absorb(b)
+	requireSameSets(t, "forward", want, fwd.Sets())
+
+	rev := NewMergeStream()
+	rev.Absorb(b)
+	rev.Absorb(a)
+	requireSameSets(t, "reverse", want, rev.Sets())
+
+	oneByOne := NewMergeStream()
+	for _, s := range a {
+		oneByOne.Absorb([]alias.Set{s})
+	}
+	oneByOne.Absorb(b)
+	requireSameSets(t, "one-by-one", want, oneByOne.Sets())
+}
+
+// TestLatestStreamReplaces: a fresh observation of an address with a new
+// identifier moves the address — the stale claim is gone from the output.
+func TestLatestStreamReplaces(t *testing.T) {
+	a1 := netip.MustParseAddr("10.0.0.1")
+	a2 := netip.MustParseAddr("10.0.0.2")
+	idA := ident.Identifier{Proto: ident.SSH, Digest: "aaa"}
+	idB := ident.Identifier{Proto: ident.SSH, Digest: "bbb"}
+	l := NewLatestStream()
+	l.Observe(alias.Observation{Addr: a1, ID: idA})
+	l.Observe(alias.Observation{Addr: a2, ID: idA})
+	l.Observe(alias.Observation{Addr: a1, ID: idB}) // a1 renumbered
+	sets := l.Sets()
+	if len(sets) != 2 {
+		t.Fatalf("got %d sets, want 2: %v", len(sets), sets)
+	}
+	for _, s := range sets {
+		if s.Contains(a1) && s.Contains(a2) {
+			t.Fatalf("stale claim survived: %s", s.Signature())
+		}
+	}
+}
+
+// TestSinkRoutesPerProtocol: observations land in their protocol's stream.
+func TestSinkRoutesPerProtocol(t *testing.T) {
+	s := NewSink()
+	a := netip.MustParseAddr("10.0.0.1")
+	s.Observe(ident.SSH, alias.Observation{Addr: a, ID: ident.Identifier{Proto: ident.SSH, Digest: "x"}})
+	s.Observe(ident.BGP, alias.Observation{Addr: a, ID: ident.Identifier{Proto: ident.BGP, Digest: "y"}})
+	if n := len(s.Sets(ident.SSH)); n != 1 {
+		t.Fatalf("SSH stream has %d sets, want 1", n)
+	}
+	if n := len(s.Sets(ident.SNMP)); n != 0 {
+		t.Fatalf("SNMP stream has %d sets, want 0", n)
+	}
+}
+
+// TestNewRegistry covers name resolution.
+func TestNewRegistry(t *testing.T) {
+	for _, name := range append([]string{""}, Names()...) {
+		b, err := New(name, 0)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if name != "" && b.Name() != name {
+			t.Fatalf("New(%q).Name() = %q", name, b.Name())
+		}
+	}
+	if b, _ := New("", 0); b.Name() != "batch" {
+		t.Fatalf("default backend is %q, want batch", b.Name())
+	}
+	if _, err := New("quantum", 0); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if len(Names()) != 3 {
+		t.Fatalf("registry has %d backends, want 3", len(Names()))
+	}
+}
+
+// BenchmarkBackendGroup prices each backend's grouping on one synthetic
+// corpus.
+func BenchmarkBackendGroup(b *testing.B) {
+	obs := corpus(1, 20000)
+	for _, be := range []Backend{NewBatch(), Streaming{}, Sharded{}} {
+		b.Run(be.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				be.Group(obs)
+			}
+		})
+	}
+}
+
+// BenchmarkBackendMerge prices each backend's cross-partition merge.
+func BenchmarkBackendMerge(b *testing.B) {
+	g1 := alias.Group(corpus(1, 10000))
+	g2 := alias.Group(corpus(2, 10000))
+	g3 := alias.Group(corpus(3, 4000))
+	for _, be := range []Backend{NewBatch(), Streaming{}, Sharded{}} {
+		b.Run(be.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				be.Merge(g1, g2, g3)
+			}
+		})
+	}
+}

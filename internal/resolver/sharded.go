@@ -1,0 +1,96 @@
+package resolver
+
+import (
+	"runtime"
+	"sync"
+
+	"aliaslimit/internal/alias"
+	"aliaslimit/internal/xrand"
+)
+
+// Sharded partitions the resolution work across worker goroutines with a
+// deterministic cross-shard merge — the scale-out strategy for worlds too
+// large for one core.
+//
+// Group shards the identifier space: observations hash by identifier digest,
+// so a group never straddles shards and each shard's alias.Group runs
+// independently. Merge shards the input partitions: each worker collapses
+// its share with a private union-find (its own interning table), and one
+// final pass merges the partial partitions — union-find closure is
+// associative, so the cross-shard components equal the single-pass ones.
+// Both paths canonicalise through alias.SortSets, making the output
+// byte-identical to the batch backend at any worker count.
+type Sharded struct {
+	// Workers bounds the shard count; 0 picks GOMAXPROCS.
+	Workers int
+}
+
+// Name implements Backend.
+func (Sharded) Name() string { return "sharded" }
+
+// workers resolves the shard count.
+func (s Sharded) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Group implements Backend by partitioning observations across the
+// identifier space and grouping every shard concurrently.
+func (s Sharded) Group(obs []alias.Observation) []alias.Set {
+	w := s.workers()
+	if w <= 1 || len(obs) < 2 {
+		return alias.Group(obs)
+	}
+	shards := make([][]alias.Observation, w)
+	for _, o := range obs {
+		i := int(xrand.Hash64(o.ID.Digest) % uint64(w))
+		shards[i] = append(shards[i], o)
+	}
+	partials := make([][]alias.Set, w)
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			partials[i] = alias.Group(shards[i])
+		}(i)
+	}
+	wg.Wait()
+	var out []alias.Set
+	for _, p := range partials {
+		out = append(out, p...)
+	}
+	alias.SortSets(out)
+	return out
+}
+
+// Merge implements Backend by collapsing shard-local partitions in parallel
+// and merging the partial results in one final cross-shard pass.
+func (s Sharded) Merge(groups ...[]alias.Set) []alias.Set {
+	w := s.workers()
+	// Flatten so the shards balance even when one protocol dominates.
+	var sets []alias.Set
+	for _, g := range groups {
+		sets = append(sets, g...)
+	}
+	if w <= 1 || len(sets) < 2*w {
+		return alias.Merge(sets)
+	}
+	shards := make([][]alias.Set, w)
+	for i, set := range sets {
+		shards[i%w] = append(shards[i%w], set)
+	}
+	partials := make([][]alias.Set, w)
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			partials[i] = alias.Merge(shards[i])
+		}(i)
+	}
+	wg.Wait()
+	return alias.Merge(partials...)
+}

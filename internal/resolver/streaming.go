@@ -1,0 +1,254 @@
+package resolver
+
+import (
+	"net/netip"
+	"slices"
+	"sync"
+
+	"aliaslimit/internal/alias"
+	"aliaslimit/internal/ident"
+)
+
+// Streaming resolves aliases incrementally: observations are consumed one at
+// a time, in whatever order the scan pipeline emits them, and alias-set
+// membership is maintained online. Group replays the input through a Stream;
+// Merge feeds the partitions through an incremental union-find (MergeStream).
+// Finalisation canonicalises through alias.SortSets, so the output is
+// byte-identical to the batch backend's for the same input — the structures
+// are order-insensitive even though consumption is not.
+type Streaming struct{}
+
+// Name implements Backend.
+func (Streaming) Name() string { return "streaming" }
+
+// Group implements Backend by streaming the observations through an online
+// grouping structure.
+func (Streaming) Group(obs []alias.Observation) []alias.Set {
+	st := NewStream()
+	for _, o := range obs {
+		st.Observe(o)
+	}
+	return st.Sets()
+}
+
+// Merge implements Backend by absorbing each partition into an incremental
+// union-find.
+func (Streaming) Merge(groups ...[]alias.Set) []alias.Set {
+	ms := NewMergeStream()
+	for _, g := range groups {
+		ms.Absorb(g)
+	}
+	return ms.Sets()
+}
+
+// NewSink returns a live collection sink for this backend.
+func (Streaming) NewSink() *Sink { return NewSink() }
+
+// Stream maintains identifier groups online: every Observe call lands the
+// observation in its identifier's set immediately, so alias sets exist the
+// moment the scan finishes — no post-hoc grouping pass. Safe for concurrent
+// Observe calls (scan worker pools feed it directly); Sets must not run
+// concurrently with Observe.
+type Stream struct {
+	mu     sync.Mutex
+	ids    map[ident.Identifier]int32
+	groups []map[netip.Addr]struct{}
+}
+
+// NewStream returns an empty online grouping stream.
+func NewStream() *Stream {
+	return &Stream{ids: make(map[ident.Identifier]int32)}
+}
+
+// Observe lands one observation in its identifier's set, creating the set on
+// first sight. Duplicate (identifier, address) observations collapse.
+func (s *Stream) Observe(o alias.Observation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gi, ok := s.ids[o.ID]
+	if !ok {
+		gi = int32(len(s.groups))
+		s.ids[o.ID] = gi
+		s.groups = append(s.groups, make(map[netip.Addr]struct{}))
+	}
+	s.groups[gi][o.Addr] = struct{}{}
+}
+
+// Len returns the number of distinct identifiers observed so far.
+func (s *Stream) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.groups)
+}
+
+// Sets finalises the stream into canonical alias sets — byte-identical to
+// alias.Group over the same observations in any order.
+func (s *Stream) Sets() []alias.Set {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]alias.Set, 0, len(s.groups))
+	for _, g := range s.groups {
+		addrs := make([]netip.Addr, 0, len(g))
+		for a := range g {
+			addrs = append(addrs, a)
+		}
+		slices.SortFunc(addrs, netip.Addr.Compare)
+		out = append(out, alias.Set{Addrs: addrs})
+	}
+	alias.SortSets(out)
+	return out
+}
+
+// MergeStream is an incremental union-find over addresses: it absorbs alias
+// sets as they become available and maintains the merged components online.
+// Absorbing the same partitions in any order or batching yields the same
+// final components.
+type MergeStream struct {
+	mu     sync.Mutex
+	table  *alias.AddrTable
+	parent []int32
+	size   []int32
+}
+
+// NewMergeStream returns an empty incremental merge.
+func NewMergeStream() *MergeStream {
+	return &MergeStream{table: alias.NewAddrTable()}
+}
+
+// Absorb unions each set's addresses into the running components. Singleton
+// sets join the membership without uniting anything, exactly as alias.Merge
+// treats them.
+func (m *MergeStream) Absorb(sets []alias.Set) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range sets {
+		if len(s.Addrs) == 0 {
+			continue
+		}
+		first := m.intern(s.Addrs[0])
+		for _, a := range s.Addrs[1:] {
+			m.union(first, m.intern(a))
+		}
+	}
+}
+
+// intern maps an address to its dense id, growing the union-find alongside
+// the table.
+func (m *MergeStream) intern(a netip.Addr) int32 {
+	i := m.table.Intern(a)
+	for int(i) >= len(m.parent) {
+		m.parent = append(m.parent, int32(len(m.parent)))
+		m.size = append(m.size, 1)
+	}
+	return i
+}
+
+// find returns the representative of x, halving paths as it walks.
+func (m *MergeStream) find(x int32) int32 {
+	for m.parent[x] != x {
+		m.parent[x] = m.parent[m.parent[x]]
+		x = m.parent[x]
+	}
+	return x
+}
+
+// union merges the components of a and b by size.
+func (m *MergeStream) union(a, b int32) {
+	ra, rb := m.find(a), m.find(b)
+	if ra == rb {
+		return
+	}
+	if m.size[ra] < m.size[rb] {
+		ra, rb = rb, ra
+	}
+	m.parent[rb] = ra
+	m.size[ra] += m.size[rb]
+}
+
+// Sets finalises the current components into canonical alias sets —
+// byte-identical to alias.Merge over the same partitions.
+func (m *MergeStream) Sets() []alias.Set {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byRoot := make(map[int32][]netip.Addr)
+	for i := 0; i < m.table.Len(); i++ {
+		r := m.find(int32(i))
+		byRoot[r] = append(byRoot[r], m.table.Addr(int32(i)))
+	}
+	out := make([]alias.Set, 0, len(byRoot))
+	for _, addrs := range byRoot {
+		slices.SortFunc(addrs, netip.Addr.Compare)
+		out = append(out, alias.Set{Addrs: addrs})
+	}
+	alias.SortSets(out)
+	return out
+}
+
+// LatestStream is the longitudinal layer's incremental merge strategy: a
+// last-write-wins map from address to identifier, fed epoch by epoch in
+// chronological order. An address renumbered in a later epoch sheds its
+// stale identifier the moment the fresh observation arrives — the online
+// counterpart of the batch decay-weighted history, with provably identical
+// outcomes at decay factors at or below 0.5: for any finite history the
+// older sightings' geometric weights sum to strictly less than the freshest
+// observation's, so the most recent digest always wins there (the scenario
+// tests pin the coincidence at 0.5; toward 1 the strategies diverge). State
+// is O(addresses), single pass, no per-epoch history retained.
+type LatestStream struct {
+	mu  sync.Mutex
+	cur map[netip.Addr]ident.Identifier
+}
+
+// NewLatestStream returns an empty last-write-wins stream.
+func NewLatestStream() *LatestStream {
+	return &LatestStream{cur: make(map[netip.Addr]ident.Identifier)}
+}
+
+// Observe records the address's current identifier, replacing any earlier
+// claim.
+func (l *LatestStream) Observe(o alias.Observation) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cur[o.Addr] = o.ID
+}
+
+// Sets groups the surviving (address, identifier) assignments into canonical
+// alias sets.
+func (l *LatestStream) Sets() []alias.Set {
+	l.mu.Lock()
+	obs := make([]alias.Observation, 0, len(l.cur))
+	for a, id := range l.cur {
+		obs = append(obs, alias.Observation{Addr: a, ID: id})
+	}
+	l.mu.Unlock()
+	return alias.Group(obs)
+}
+
+// Sink adapts one Stream per protocol for the collection pipeline: scan
+// worker pools call Observe concurrently as identifiers are extracted
+// mid-sweep, so by the time collection returns, every protocol's alias sets
+// are already grouped. It satisfies experiments.ObservationSink.
+type Sink struct {
+	// streams is indexed by ident.Protocol (SSH, BGP, SNMP).
+	streams [3]*Stream
+}
+
+// NewSink returns a sink with one live stream per protocol.
+func NewSink() *Sink {
+	s := &Sink{}
+	for i := range s.streams {
+		s.streams[i] = NewStream()
+	}
+	return s
+}
+
+// Observe lands one observation in the protocol's live stream. Safe for
+// concurrent use.
+func (s *Sink) Observe(p ident.Protocol, o alias.Observation) {
+	s.streams[p].Observe(o)
+}
+
+// Sets finalises one protocol's stream into canonical alias sets.
+func (s *Sink) Sets(p ident.Protocol) []alias.Set {
+	return s.streams[p].Sets()
+}

@@ -10,6 +10,7 @@ import (
 	"aliaslimit/internal/evaluate"
 	"aliaslimit/internal/experiments"
 	"aliaslimit/internal/ident"
+	"aliaslimit/internal/resolver"
 	"aliaslimit/internal/topo"
 )
 
@@ -82,9 +83,13 @@ type SurvivalPoint struct {
 // epoch's ground truth.
 type MergeScore struct {
 	// Strategy is "naive-union" (merge every epoch's alias sets, stale
-	// identifiers and all) or "decay-weighted" (per-address identifier
+	// identifiers and all), "decay-weighted" (per-address identifier
 	// history with recency-decayed weights; stale claims lose to fresh
-	// observations).
+	// observations), or "incremental" (the streaming backend's online
+	// last-write-wins stream — O(addresses) state, single pass, no history
+	// retained; coincides with decay-weighted outcomes at decay factors
+	// where the freshest observation always outweighs the accumulated
+	// past, and diverges as decay approaches 1).
 	Strategy string `json:"strategy"`
 	// Precision / Recall / F1 are pairwise scores of the merged cross-
 	// protocol partition against the final epoch's ground truth.
@@ -105,11 +110,13 @@ type LongitudinalResult struct {
 	Scenario string `json:"scenario"`
 	Summary  string `json:"summary"`
 	// Seed / Scale / Quick pin the world exactly as Result does; Decay is
-	// the decay-weighted strategy's factor.
-	Seed  uint64  `json:"seed"`
-	Scale float64 `json:"scale"`
-	Quick bool    `json:"quick"`
-	Decay float64 `json:"decay"`
+	// the decay-weighted strategy's factor; Backend names the resolver
+	// strategy every epoch resolved through.
+	Seed    uint64  `json:"seed"`
+	Scale   float64 `json:"scale"`
+	Quick   bool    `json:"quick"`
+	Decay   float64 `json:"decay"`
+	Backend string  `json:"backend,omitempty"`
 	// Epochs holds the per-epoch scorecards in chronological order.
 	Epochs []*EpochScore `json:"epochs"`
 	// Persistence holds per-protocol identifier-persistence rates.
@@ -146,6 +153,13 @@ func RunLongitudinal(name string, opts LongitudinalOptions) (*LongitudinalResult
 		return nil, fmt.Errorf("scenario: unknown preset %q (have: %s)",
 			name, strings.Join(Names(), ", "))
 	}
+	return runLongitudinalPreset(p, opts)
+}
+
+// runLongitudinalPreset is RunLongitudinal over an already resolved (possibly
+// sweep-modified) preset.
+func runLongitudinalPreset(p Preset, opts LongitudinalOptions) (*LongitudinalResult, error) {
+	name := p.Name
 	n := opts.Epochs
 	if n == 0 {
 		n = 5
@@ -162,8 +176,12 @@ func RunLongitudinal(name string, opts LongitudinalOptions) (*LongitudinalResult
 	}
 
 	cfg, quick := resolveConfig(p, opts.Options)
+	eopts, err := envOptions(p, cfg, opts.Options)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", name, err)
+	}
 	series, err := experiments.NewEnvSeries(experiments.SeriesOptions{
-		Options:    envOptions(p, cfg, opts.Options),
+		Options:    eopts,
 		Epochs:     n,
 		EpochChurn: p.epochChurn(),
 	})
@@ -178,6 +196,7 @@ func RunLongitudinal(name string, opts LongitudinalOptions) (*LongitudinalResult
 		Scale:    cfg.Scale,
 		Quick:    quick,
 		Decay:    decay,
+		Backend:  eopts.Backend.Name(),
 	}
 	views := make([]*epochView, 0, n)
 	var finalTruth *topo.Truth
@@ -206,6 +225,7 @@ func RunLongitudinal(name string, opts LongitudinalOptions) (*LongitudinalResult
 	out.Merges = []*MergeScore{
 		scoreMerge("naive-union", naiveUnion(views), owner),
 		scoreMerge("decay-weighted", decayWeighted(views, decay), owner),
+		scoreMerge("incremental", incremental(views), owner),
 	}
 	return out, nil
 }
@@ -418,6 +438,41 @@ func decayWeighted(views []*epochView, decay float64) []alias.Set {
 	return merged
 }
 
+// incremental is the streaming resolver's longitudinal strategy: one online
+// last-write-wins stream per protocol consumes the epochs in chronological
+// order, so an address renumbered in a later epoch sheds its stale
+// identifier the moment the fresh observation arrives. Unlike
+// decay-weighted it keeps no per-epoch history — O(addresses) state, single
+// pass — which is what makes it viable as an always-on resolver between
+// measurement rounds rather than a batch job over the archive. The final
+// cross-protocol combination absorbs the per-family partitions through the
+// same streaming merge the backend uses.
+func incremental(views []*epochView) []alias.Set {
+	var perProto [3][]alias.Set
+	for i, proto := range scoreProtos {
+		ls := resolver.NewLatestStream()
+		for _, v := range views {
+			for addr, d := range v.ids[i] {
+				ls.Observe(alias.Observation{
+					Addr: addr,
+					ID:   ident.Identifier{Proto: proto, Digest: d},
+				})
+			}
+		}
+		perProto[i] = ls.Sets()
+	}
+	var merged []alias.Set
+	streaming := resolver.Streaming{}
+	for _, v4 := range []bool{true, false} {
+		var inputs [][]alias.Set
+		for _, sets := range perProto {
+			inputs = append(inputs, alias.NonSingleton(alias.FilterFamily(sets, v4)))
+		}
+		merged = append(merged, alias.NonSingleton(streaming.Merge(inputs...))...)
+	}
+	return merged
+}
+
 // scoreMerge judges one strategy's merged partition against ground truth.
 func scoreMerge(strategy string, sets []alias.Set, owner map[netip.Addr]string) *MergeScore {
 	m := evaluate.Pairwise(sets, owner)
@@ -434,14 +489,17 @@ func scoreMerge(strategy string, sets []alias.Set, owner map[netip.Addr]string) 
 }
 
 // SortLongitudinal orders longitudinal results canonically, mirroring
-// SortResults: catalog order, then name.
+// SortResults: catalog order, then name, then backend.
 func SortLongitudinal(rs []*LongitudinalResult) {
 	sort.SliceStable(rs, func(i, j int) bool {
 		ri, rj := rank(rs[i].Scenario), rank(rs[j].Scenario)
 		if ri != rj {
 			return ri < rj
 		}
-		return rs[i].Scenario < rs[j].Scenario
+		if rs[i].Scenario != rs[j].Scenario {
+			return rs[i].Scenario < rs[j].Scenario
+		}
+		return backendRank(rs[i].Backend) < backendRank(rs[j].Backend)
 	})
 }
 

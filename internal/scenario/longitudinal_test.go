@@ -69,8 +69,13 @@ func TestRunLongitudinalShape(t *testing.T) {
 	if r.BaselineSets == 0 {
 		t.Fatal("no epoch-0 sets to track")
 	}
-	if len(r.Merges) != 2 {
-		t.Fatalf("got %d merge strategies, want 2", len(r.Merges))
+	if len(r.Merges) != 3 {
+		t.Fatalf("got %d merge strategies, want 3", len(r.Merges))
+	}
+	for i, want := range []string{"naive-union", "decay-weighted", "incremental"} {
+		if r.Merges[i].Strategy != want {
+			t.Fatalf("merge strategy %d is %q, want %q", i, r.Merges[i].Strategy, want)
+		}
 	}
 }
 
@@ -134,6 +139,37 @@ func TestDecayWeightedBeatsNaiveUnionOnChurnStorm(t *testing.T) {
 	if decayed.F1 <= naive.F1 {
 		t.Fatalf("decay-weighted F1 %.4f did not beat naive union %.4f",
 			decayed.F1, naive.F1)
+	}
+}
+
+// TestIncrementalMatchesDecayAtHalf cross-validates the two stale-resistant
+// strategies: at the default decay factor 0.5, the freshest observation's
+// weight (1) strictly exceeds any older digest's accumulated history
+// (< 0.5^(k-1) summed), so the batch decay-weighted history and the
+// streaming last-write-wins stream must resolve every address identically —
+// identical partitions, identical scores.
+func TestIncrementalMatchesDecayAtHalf(t *testing.T) {
+	r := longTiny(t, "churn-storm")
+	var decayed, incr *MergeScore
+	for _, m := range r.Merges {
+		switch m.Strategy {
+		case "decay-weighted":
+			decayed = m
+		case "incremental":
+			incr = m
+		}
+	}
+	if decayed == nil || incr == nil {
+		t.Fatalf("missing merge strategies: %+v", r.Merges)
+	}
+	a, b := *decayed, *incr
+	a.Strategy, b.Strategy = "", ""
+	if a != b {
+		t.Fatalf("incremental %+v diverges from decay-weighted %+v at decay 0.5", *incr, *decayed)
+	}
+	if incr.FalsePairs >= r.Merges[0].FalsePairs {
+		t.Fatalf("incremental false pairs %d not below naive union %d",
+			incr.FalsePairs, r.Merges[0].FalsePairs)
 	}
 }
 

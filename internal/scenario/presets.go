@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"aliaslimit/internal/netsim"
+	"aliaslimit/internal/resolver"
 	"aliaslimit/internal/topo"
 )
 
@@ -191,14 +192,36 @@ func rank(name string) int {
 	return len(presets)
 }
 
+// backendRank orders backend names canonically (registry order, unknown
+// names after, the unset legacy value first within its scenario).
+func backendRank(name string) int {
+	if name == "" {
+		return -1
+	}
+	for i, n := range resolver.Names() {
+		if n == name {
+			return i
+		}
+	}
+	return len(resolver.Names())
+}
+
+// BackendNames lists the resolver backends the scenario engine can run, in
+// canonical order.
+func BackendNames() []string { return resolver.Names() }
+
 // SortResults orders results canonically: catalog order first, then by name
-// for entries the catalog does not know.
+// for entries the catalog does not know, then by backend so the matrix's
+// backend dimension interleaves stably.
 func SortResults(rs []*Result) {
 	sort.SliceStable(rs, func(i, j int) bool {
 		ri, rj := rank(rs[i].Scenario), rank(rs[j].Scenario)
 		if ri != rj {
 			return ri < rj
 		}
-		return rs[i].Scenario < rs[j].Scenario
+		if rs[i].Scenario != rs[j].Scenario {
+			return rs[i].Scenario < rs[j].Scenario
+		}
+		return backendRank(rs[i].Backend) < backendRank(rs[j].Backend)
 	})
 }

@@ -14,15 +14,19 @@
 package scenario
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/netip"
 	"strings"
 
+	"aliaslimit/internal/alias"
 	"aliaslimit/internal/evaluate"
 	"aliaslimit/internal/experiments"
 	"aliaslimit/internal/ident"
 	"aliaslimit/internal/midar"
+	"aliaslimit/internal/resolver"
 	"aliaslimit/internal/topo"
 )
 
@@ -36,6 +40,12 @@ type Options struct {
 	Quick bool
 	// Workers / Parallelism tune collection exactly as aliaslimit.Options.
 	Workers, Parallelism int
+	// Backend names the resolver strategy ("batch", "streaming", "sharded";
+	// empty picks batch). Every backend yields byte-identical alias sets —
+	// the Result's SetsDigest proves it — differing only in execution
+	// strategy, which is exactly what the backend dimension of the scenario
+	// matrix compares.
+	Backend string
 }
 
 // ProtocolScore is one protocol's ground-truth accuracy in one scenario.
@@ -83,6 +93,12 @@ type Result struct {
 	Seed  uint64  `json:"seed"`
 	Scale float64 `json:"scale"`
 	Quick bool    `json:"quick"`
+	// Backend names the resolver strategy the run resolved through, and
+	// SetsDigest is a SHA-256 over every scored alias-set partition in
+	// canonical order — equal digests mean byte-identical alias sets, the
+	// cross-backend equivalence the matrix asserts.
+	Backend    string `json:"backend,omitempty"`
+	SetsDigest string `json:"sets_digest,omitempty"`
 	// Devices / V4Addresses / V6Addresses size the measured world.
 	Devices     int `json:"devices"`
 	V4Addresses int `json:"v4_addresses"`
@@ -179,8 +195,15 @@ func resolveConfig(p Preset, opts Options) (cfg topo.Config, quick bool) {
 	return cfg, quick
 }
 
-// envOptions assembles the experiments options for a resolved preset world.
-func envOptions(p Preset, cfg topo.Config, opts Options) experiments.Options {
+// envOptions assembles the experiments options for a resolved preset world,
+// including the named resolver backend.
+func envOptions(p Preset, cfg topo.Config, opts Options) (experiments.Options, error) {
+	// Shard count 0 lets the sharded backend track GOMAXPROCS; Workers here
+	// tunes scan concurrency, not resolution.
+	backend, err := resolver.New(opts.Backend, 0)
+	if err != nil {
+		return experiments.Options{}, err
+	}
 	faults := p.Faults
 	faults.Seed = cfg.Seed
 	return experiments.Options{
@@ -192,13 +215,18 @@ func envOptions(p Preset, cfg topo.Config, opts Options) experiments.Options {
 		},
 		ChurnFraction: p.Churn,
 		Faults:        faults,
-	}
+		Backend:       backend,
+	}, nil
 }
 
 // runPreset measures one (possibly sweep-modified) preset and scores it.
 func runPreset(p Preset, opts Options) (*Result, error) {
 	cfg, quick := resolveConfig(p, opts)
-	env, err := experiments.BuildEnv(envOptions(p, cfg, opts))
+	eopts, err := envOptions(p, cfg, opts)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", p.Name, err)
+	}
+	env, err := experiments.BuildEnv(eopts)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", p.Name, err)
 	}
@@ -215,6 +243,7 @@ func score(p Preset, cfg topo.Config, quick bool, env *experiments.Env, truth *t
 		Seed:        cfg.Seed,
 		Scale:       cfg.Scale,
 		Quick:       quick,
+		Backend:     env.Resolver().Name(),
 		Devices:     env.World.Fabric.NumDevices(),
 		V4Addresses: len(env.Both.AllAddrs(experiments.V4)),
 		V6Addresses: len(env.Both.AllAddrs(experiments.V6)),
@@ -275,7 +304,45 @@ func score(p Preset, cfg topo.Config, quick bool, env *experiments.Env, truth *t
 		Confirmed:    run.Tally.Confirmed,
 		Split:        run.Tally.Split,
 	}
+	res.SetsDigest = setsDigest(env)
 	return res
+}
+
+// setsDigest hashes every alias-set partition the scorecard reads, in
+// canonical order: the per-protocol non-singleton groups, the per-family
+// union partitions, and the dual-stack sets. Two runs with equal digests
+// produced byte-identical alias sets — the cross-backend equivalence check
+// reduces to comparing these strings.
+func setsDigest(env *experiments.Env) string {
+	h := sha256.New()
+	feed := func(sets []alias.Set) {
+		for _, s := range sets {
+			h.Write([]byte(s.Key()))
+			h.Write([]byte{0})
+		}
+		h.Write([]byte{0xff})
+	}
+	for _, proto := range []ident.Protocol{ident.SSH, ident.BGP, ident.SNMP} {
+		ds := env.Both
+		if proto == ident.SNMP {
+			ds = env.Active
+		}
+		feed(ds.NonSingletonSets(proto))
+	}
+	for _, v4 := range []bool{true, false} {
+		feed(env.UnionFamilyNonSingleton(v4))
+	}
+	feed(env.DualStackSets())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// backendName reports the resolver backend, defaulting legacy reports to
+// batch.
+func (r *Result) backendName() string {
+	if r.Backend == "" {
+		return "batch"
+	}
+	return r.Backend
 }
 
 // RenderText prints one result as a human-readable block (the CLI's default
@@ -283,8 +350,8 @@ func score(p Preset, cfg topo.Config, quick bool, env *experiments.Env, truth *t
 func (r *Result) RenderText() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "scenario %-12s %s\n", r.Scenario, r.Summary)
-	fmt.Fprintf(&sb, "  world: seed=%d scale=%.2f devices=%d addrs=%d(v4)+%d(v6)\n",
-		r.Seed, r.Scale, r.Devices, r.V4Addresses, r.V6Addresses)
+	fmt.Fprintf(&sb, "  world: seed=%d scale=%.2f devices=%d addrs=%d(v4)+%d(v6) backend=%s\n",
+		r.Seed, r.Scale, r.Devices, r.V4Addresses, r.V6Addresses, r.backendName())
 	fmt.Fprintf(&sb, "  union sets: %d(v4) %d(v6)  dual-stack: %d\n",
 		r.UnionSetsV4, r.UnionSetsV6, r.DualStackSets)
 	fmt.Fprintf(&sb, "  %-8s %9s %9s %9s %9s %7s\n",

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -82,5 +83,59 @@ func TestRunSweepValidation(t *testing.T) {
 	}
 	if _, err := RunSweep("loss", "baseline", []float64{1.5}, tinyOpts); err == nil {
 		t.Fatal("out-of-range value accepted")
+	}
+	if _, err := RunSweep("epochs", "baseline", []float64{2.5}, tinyOpts); err == nil {
+		t.Fatal("fractional epochs value accepted")
+	}
+	if _, err := RunSweep("epochs", "baseline", []float64{1}, tinyOpts); err == nil {
+		t.Fatal("single-epoch sweep value accepted")
+	}
+	if _, err := RunSweep("decay", "baseline", []float64{0}, tinyOpts); err == nil {
+		t.Fatal("decay 0 accepted")
+	}
+}
+
+// TestRunSweepEpochsAxis sweeps the longitudinal depth: every point carries
+// a full multi-epoch scorecard with the matching round count.
+func TestRunSweepEpochsAxis(t *testing.T) {
+	rep, err := RunSweep("epochs", "churn-storm", []float64{2, 3}, tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("want 2 points, got %d", len(rep.Points))
+	}
+	for i, want := range []int{2, 3} {
+		pt := rep.Points[i]
+		if pt.Result != nil || pt.Longitudinal == nil {
+			t.Fatalf("epochs point %d is not longitudinal: %+v", i, pt)
+		}
+		if got := len(pt.Longitudinal.Epochs); got != want {
+			t.Fatalf("point %d ran %d epochs, want %d", i, got, want)
+		}
+		if len(pt.Longitudinal.Merges) != 3 {
+			t.Fatalf("point %d has %d merge strategies, want 3", i, len(pt.Longitudinal.Merges))
+		}
+	}
+	if !strings.Contains(rep.RenderText(), "incr-f1") {
+		t.Fatalf("longitudinal sweep table missing merge columns:\n%s", rep.RenderText())
+	}
+}
+
+// TestRunSweepDecayAxis sweeps the decay factor and checks each point pins
+// its factor in the scorecard.
+func TestRunSweepDecayAxis(t *testing.T) {
+	rep, err := RunSweep("decay", "churn-storm", []float64{0.3, 0.9}, tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{0.3, 0.9} {
+		l := rep.Points[i].Longitudinal
+		if l == nil || l.Decay != want {
+			t.Fatalf("decay point %d did not run at %v: %+v", i, want, rep.Points[i])
+		}
+		if len(l.Epochs) != sweepDefaultEpochs {
+			t.Fatalf("decay point %d ran %d epochs, want %d", i, len(l.Epochs), sweepDefaultEpochs)
+		}
 	}
 }

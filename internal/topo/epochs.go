@@ -5,6 +5,7 @@ import (
 	"net/netip"
 	"sort"
 
+	"aliaslimit/internal/bgp"
 	"aliaslimit/internal/netsim"
 	"aliaslimit/internal/snmpv3"
 	"aliaslimit/internal/sshwire"
@@ -33,8 +34,10 @@ type EpochChurn struct {
 	Renumber float64
 	// Reboot is the probability that a device reboots into fresh identifier
 	// material between epochs: a regenerated SSH host key (and software
-	// profile) and a re-initialised SNMPv3 engine ID. Addresses and ground
-	// truth are unchanged — only identifier persistence breaks.
+	// profile), a re-initialised SNMPv3 engine ID, and a re-keyed BGP OPEN
+	// personality (fresh router ID and capability presentation; same AS and
+	// peering behavior). Addresses and ground truth are unchanged — only
+	// identifier persistence breaks.
 	Reboot float64
 	// WireDown is the probability that a non-primary interface of a
 	// multi-address device is de-provisioned for this epoch (maintenance,
@@ -279,10 +282,11 @@ func (w *World) renumberInterfaces(frac float64, epoch int, ek string) int {
 }
 
 // rebootDevices regenerates identifier material for a fraction of devices:
-// a fresh SSH host key and software profile, and a re-initialised SNMPv3
-// engine ID. The device keeps its addresses and service ACLs, so the ground
-// truth is untouched — the alias structure is intact but must be re-learned
-// from the new identifiers, which is what the persistence metrics measure.
+// a fresh SSH host key and software profile, a re-initialised SNMPv3 engine
+// ID, and a re-keyed BGP OPEN personality. The device keeps its addresses
+// and service ACLs, so the ground truth is untouched — the alias structure
+// is intact but must be re-learned from the new identifiers, which is what
+// the persistence metrics measure.
 func (w *World) rebootDevices(frac float64, ek string) int {
 	if frac <= 0 {
 		return 0
@@ -319,6 +323,30 @@ func (w *World) rebootDevices(frac float64, ek string) int {
 					EngineBoots: int64(1 + g.intn(40, tag, "boots")),
 					BootTime:    w.Clock.Now(),
 				}).Handle, acl...)
+				rebooted = true
+			}
+		}
+		if len(w.Truth.BGPAddrs[id]) > 0 {
+			// BGP re-keying: the rebooted router comes back with a fresh
+			// router ID (operators commonly derive it from a loopback that
+			// was renumbered, or it reverts to an auto-selected value) and a
+			// re-negotiated capability presentation — a new OPEN identifier.
+			// ASN, peering behavior, and address families survive the
+			// reboot, and the device keeps answering on the same addresses,
+			// so the ground-truth lineage is untouched: the alias structure
+			// is intact but must be re-learned, exactly as for SSH and
+			// SNMPv3.
+			if cfg, ok := w.bgpSpeakers[id]; ok && len(d.ServiceAddrs(179)) > 0 {
+				cfg.RouterID = uint32(xrand.Hash64(g.sk(tag, "router-id")...))
+				cfg.HoldTime = 90
+				if g.prob(tag, "hold") < 0.3 {
+					cfg.HoldTime = 180
+				}
+				cfg.CiscoRouteRefresh = g.prob(tag, "cisco") < 0.6
+				cfg.OneParamPerCapability = g.prob(tag, "pack") < 0.6
+				d.SetService(179, bgp.NewSpeaker(cfg))
+				// Consecutive reboots evolve from the latest personality.
+				w.bgpSpeakers[id] = cfg
 				rebooted = true
 			}
 		}

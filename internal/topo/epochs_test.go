@@ -1,10 +1,16 @@
 package topo
 
 import (
+	"context"
+	"net"
 	"net/netip"
 	"reflect"
 	"sort"
 	"testing"
+	"time"
+
+	"aliaslimit/internal/bgp"
+	"aliaslimit/internal/ident"
 )
 
 // epochWorld builds a small world for churn tests.
@@ -91,6 +97,77 @@ func TestApplyEpochChurnDeterministic(t *testing.T) {
 	}
 	if !reflect.DeepEqual(truth1, truth2) {
 		t.Fatal("ground truth differs between identical runs")
+	}
+}
+
+// bgpIdentOf dials one address through the fabric and extracts its OPEN
+// identifier.
+func bgpIdentOf(t *testing.T, w *World, addr netip.Addr) ident.Identifier {
+	t.Helper()
+	v := w.Fabric.Vantage(VantageActive)
+	conn, err := v.DialContext(context.Background(), "tcp",
+		net.JoinHostPort(addr.String(), "179"))
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	res, err := bgp.Scan(conn, 30*time.Second)
+	if err != nil {
+		t.Fatalf("bgp scan %s: %v", addr, err)
+	}
+	id, ok := ident.FromBGP(res)
+	if !ok {
+		t.Fatalf("%s sent no identifiable OPEN", addr)
+	}
+	return id
+}
+
+// TestRebootRekeysBGP asserts the reboot mechanism regenerates the BGP OPEN
+// identifier while leaving the ground-truth lineage untouched: the same
+// addresses answer, from the same device, with a different wire identity.
+func TestRebootRekeysBGP(t *testing.T) {
+	w := epochWorld(t)
+	// Pick an identifiable speaker the generator planned.
+	var dev string
+	var addr netip.Addr
+	for _, id := range w.sortedTruthDevices() {
+		if addrs := w.Truth.BGPAddrs[id]; len(addrs) > 0 {
+			dev, addr = id, addrs[0]
+			break
+		}
+	}
+	if dev == "" {
+		t.Fatal("world has no identifiable BGP speakers")
+	}
+	before := bgpIdentOf(t, w, addr)
+	cfgBefore := w.bgpSpeakers[dev]
+	truthBefore := snapshotSorted(w.Truth)
+
+	// Reboot every device: the chosen speaker must re-key.
+	if n := w.rebootDevices(1.0, "42"); n == 0 {
+		t.Fatal("full-probability reboot touched nothing")
+	}
+	after := bgpIdentOf(t, w, addr)
+	if after == before {
+		t.Fatalf("reboot kept the BGP identifier %s", before.Digest[:12])
+	}
+	if w.bgpSpeakers[dev].RouterID == cfgBefore.RouterID {
+		t.Fatal("reboot did not rotate the router ID")
+	}
+	if w.bgpSpeakers[dev].ASN != cfgBefore.ASN {
+		t.Fatal("reboot changed the speaker's ASN — identity churn must not move ASes")
+	}
+	if !reflect.DeepEqual(truthBefore, snapshotSorted(w.Truth)) {
+		t.Fatal("reboot changed the ground truth — lineage must survive a re-key")
+	}
+	checkTruthBound(t, w)
+
+	// Determinism: the same reboot draw on a fresh world re-keys to the
+	// identical new identity.
+	w2 := epochWorld(t)
+	w2.rebootDevices(1.0, "42")
+	if got := bgpIdentOf(t, w2, addr); got != after {
+		t.Fatalf("re-keyed identity differs between identical runs: %s vs %s",
+			got.Digest[:12], after.Digest[:12])
 	}
 }
 

@@ -240,6 +240,8 @@ func (g *generator) commit() error {
 		}
 		if p.bgp != nil && p.bgpTruth {
 			g.w.Truth.BGPAddrs[d.ID()] = d.ServiceAddrs(179)
+			// Remembered so epoch-boundary reboots can re-key the speaker.
+			g.w.bgpSpeakers[d.ID()] = p.bgp.cfg
 		}
 		if p.churnable {
 			g.w.churnable = append(g.w.churnable, churnRecord{deviceID: p.id, addr: p.dcfg.Addrs[0]})

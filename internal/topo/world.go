@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"aliaslimit/internal/bgp"
 	"aliaslimit/internal/netsim"
 	"aliaslimit/internal/ptrdns"
 	"aliaslimit/internal/xrand"
@@ -89,6 +90,12 @@ type World struct {
 	churnable []churnRecord
 	darkWires []darkWire
 	decoyAS   *AS
+
+	// bgpSpeakers remembers every identifiable speaker's OPEN personality so
+	// an epoch-boundary reboot can re-key it — same AS, same addresses, same
+	// peering behavior, fresh router ID and capability presentation —
+	// without replanning the device.
+	bgpSpeakers map[string]bgp.SpeakerConfig
 }
 
 // churnRecord remembers a single-address server that dynamic addressing may
@@ -124,6 +131,7 @@ func Build(cfg Config) (*World, error) {
 			SNMPAddrs: make(map[string][]netip.Addr),
 			Fleets:    make(map[string][]string),
 		},
+		bgpSpeakers: make(map[string]bgp.SpeakerConfig),
 	}
 	g := &generator{w: w, cfg: cfg, fleets: make(map[string]*sshPersona)}
 	if err := g.run(); err != nil {

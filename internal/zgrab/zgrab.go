@@ -83,6 +83,18 @@ func Run(d Dialer, targets []netip.Addr, m Module, opts Options) []Grab {
 // is byte-identical to Run over the same target set regardless of arrival
 // order or worker count.
 func RunStream(d Dialer, targets <-chan netip.Addr, m Module, opts Options) []Grab {
+	return RunStreamEmit(d, targets, m, opts, nil)
+}
+
+// RunStreamEmit is RunStream with a completion tap: emit (when non-nil) is
+// invoked for every grab the moment it completes, from the worker goroutine
+// that performed it — while later grabs and the phase-1 sweep are still in
+// flight. With multiple workers the calls are concurrent and carry no
+// ordering guarantee, so emit must be safe for concurrent use and
+// order-insensitive; the returned slice is unchanged by the tap. It is how
+// a streaming resolver backend consumes observations online instead of
+// waiting for the sorted batch.
+func RunStreamEmit(d Dialer, targets <-chan netip.Addr, m Module, opts Options, emit func(Grab)) []Grab {
 	port := opts.Port
 	if port == 0 {
 		port = m.DefaultPort()
@@ -103,7 +115,11 @@ func RunStream(d Dialer, targets <-chan netip.Addr, m Module, opts Options) []Gr
 		go func(shard *[]Grab) {
 			defer wg.Done()
 			for t := range targets {
-				*shard = append(*shard, scanOne(d, t, port, m, dialTimeout))
+				g := scanOne(d, t, port, m, dialTimeout)
+				if emit != nil {
+					emit(g)
+				}
+				*shard = append(*shard, g)
 			}
 		}(&shards[w])
 	}
