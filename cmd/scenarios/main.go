@@ -151,8 +151,7 @@ func runScenarios(name string, opts scenario.Options, backends []string, jsonPat
 			if ref == nil {
 				ref = res
 			} else if res.SetsDigest != ref.SetsDigest {
-				return fmt.Errorf("backend divergence on %s: %s alias sets (digest %.12s) differ from %s (%.12s)",
-					n, res.Backend, res.SetsDigest, ref.Backend, ref.SetsDigest)
+				return fmt.Errorf("backend divergence on %s: %s", n, divergence(ref, res))
 			}
 			rep.Scenarios = append(rep.Scenarios, res)
 		}
@@ -197,8 +196,8 @@ func runLongitudinal(name string, opts scenario.LongitudinalOptions, backends []
 			} else {
 				for i, e := range res.Epochs {
 					if e.SetsDigest != ref.Epochs[i].SetsDigest {
-						return fmt.Errorf("backend divergence on %s epoch %d: %s alias sets differ from %s",
-							n, i, res.Backend, ref.Backend)
+						return fmt.Errorf("backend divergence on %s epoch %d: %s",
+							n, i, divergence(&ref.Epochs[i].Result, &e.Result))
 					}
 				}
 			}
@@ -216,6 +215,19 @@ func runLongitudinal(name string, opts scenario.LongitudinalOptions, backends []
 		return nil
 	}
 	return writeReport(rep, jsonPath, stdout, stderr)
+}
+
+// divergence renders an actionable cross-backend mismatch: both backends,
+// both full digests, and — when the per-partition breakdowns are available —
+// the first partition whose alias sets differ, so a CI failure says where to
+// look instead of just that two hashes disagree.
+func divergence(ref, res *scenario.Result) string {
+	msg := fmt.Sprintf("%s alias sets (digest %s) differ from %s (digest %s)",
+		res.Backend, res.SetsDigest, ref.Backend, ref.SetsDigest)
+	if part := scenario.FirstDivergence(ref.PartitionDigests, res.PartitionDigests); part != "" {
+		msg += fmt.Sprintf("; first differing partition: %s", part)
+	}
+	return msg
 }
 
 // runSweep parses an axis=values spec (percent values, except the epochs

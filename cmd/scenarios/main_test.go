@@ -375,6 +375,44 @@ func TestCIBackendCoversCatalog(t *testing.T) {
 	}
 }
 
+// TestDivergenceMessage: a cross-backend mismatch names both backends, both
+// full digests, and the first partition whose alias sets differ — the parts a
+// CI failure needs to be actionable.
+func TestDivergenceMessage(t *testing.T) {
+	ref := &scenario.Result{
+		Backend: "batch", SetsDigest: "aaa111",
+		PartitionDigests: []scenario.PartitionDigest{
+			{Partition: "ssh", Digest: "s1"},
+			{Partition: "union-v6", Digest: "u1"},
+		},
+	}
+	res := &scenario.Result{
+		Backend: "sharded", SetsDigest: "bbb222",
+		PartitionDigests: []scenario.PartitionDigest{
+			{Partition: "ssh", Digest: "s1"},
+			{Partition: "union-v6", Digest: "u2"},
+		},
+	}
+	msg := divergence(ref, res)
+	for _, want := range []string{"batch", "sharded", "aaa111", "bbb222",
+		"first differing partition: union-v6"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("divergence message missing %q:\n%s", want, msg)
+		}
+	}
+	// Legacy reports without breakdowns still get both digests.
+	res.PartitionDigests = nil
+	msg = divergence(ref, res)
+	if strings.Contains(msg, "first differing partition") {
+		t.Errorf("breakdown-less divergence should not name a partition:\n%s", msg)
+	}
+	for _, want := range []string{"aaa111", "bbb222"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("divergence message missing %q:\n%s", want, msg)
+		}
+	}
+}
+
 // TestBadArguments covers the error paths.
 func TestBadArguments(t *testing.T) {
 	var stdout, stderr bytes.Buffer

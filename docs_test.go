@@ -1,0 +1,65 @@
+package aliaslimit_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// minPackageDocChars is what "non-trivial" means for a package comment: a
+// one-line stub passes go vet but tells a reader nothing about where the
+// package sits in the pipeline, so the floor is set well above one line.
+const minPackageDocChars = 120
+
+// TestPackageDocsPresent requires every package in this module — the root
+// facade, every internal/* package, and every command — to carry a
+// substantive package comment. New packages start documented or fail here.
+func TestPackageDocsPresent(t *testing.T) {
+	dirs := []string{"."}
+	for _, pattern := range []string{"internal/*", "cmd/*"} {
+		matches, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range matches {
+			if info, err := os.Stat(m); err == nil && info.IsDir() {
+				dirs = append(dirs, m)
+			}
+		}
+	}
+	if len(dirs) < 20 {
+		t.Fatalf("only found %d package dirs, glob is broken", len(dirs))
+	}
+
+	for _, dir := range dirs {
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var best string
+		for _, file := range files {
+			if strings.HasSuffix(file, "_test.go") {
+				continue
+			}
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, file, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				t.Fatalf("%s: %v", file, err)
+			}
+			if f.Doc != nil && len(f.Doc.Text()) > len(best) {
+				best = f.Doc.Text()
+			}
+		}
+		if best == "" {
+			t.Errorf("package %s has no package comment", dir)
+			continue
+		}
+		if len(best) < minPackageDocChars {
+			t.Errorf("package %s: package comment is %d chars, want >= %d — say what the package is and where it sits:\n%s",
+				dir, len(best), minPackageDocChars, best)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package aliasd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"aliaslimit/internal/alias"
+	"aliaslimit/internal/experiments"
+	"aliaslimit/internal/ident"
+	"aliaslimit/internal/resolver"
+	"aliaslimit/internal/scenario"
+	"aliaslimit/internal/topo"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// errQueueFull signals ingest backpressure (429 + Retry-After).
+	errQueueFull = errors.New("ingest queue full")
+	// errClosed signals a deleted or draining session (410).
+	errClosed = errors.New("session closed")
+	// errTimedOut signals the request deadline expired mid-operation (504).
+	errTimedOut = errors.New("timed out")
+	// errCapacity signals the session registry is full (503).
+	errCapacity = errors.New("session capacity reached")
+)
+
+// SessionConfig is the tenant-supplied shape of one session (the POST
+// /v1/sessions body).
+type SessionConfig struct {
+	// Backend names the resolver strategy ("batch", "streaming", "sharded";
+	// empty picks streaming — the online backend is the natural default for
+	// a live service). Every backend yields byte-identical alias sets.
+	Backend string `json:"backend,omitempty"`
+	// World, when true, builds a sealed measured environment instead of an
+	// empty ingest session: the daemon generates a synthetic Internet at
+	// Seed/Scale, runs both measurement campaigns, and serves the memoized
+	// views. World sessions refuse ingest (409).
+	World bool `json:"world,omitempty"`
+	// Seed pins the world; 0 keeps the topo default. Ignored unless World.
+	Seed uint64 `json:"seed,omitempty"`
+	// Scale sizes the world; 0 picks 0.05. Ignored unless World.
+	Scale float64 `json:"scale,omitempty"`
+	// Workers / Parallelism tune the world's collection phase.
+	Workers     int `json:"workers,omitempty"`
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// ingestItem is one queued unit of work: an observation, or a flush marker
+// that the worker acknowledges by closing the channel.
+type ingestItem struct {
+	proto ident.Protocol
+	obs   alias.Observation
+	flush chan struct{}
+}
+
+// Session is one tenant's independent resolution state. Ingest sessions own
+// a live resolver sink fed by a single worker goroutine draining a bounded
+// queue; world-backed sessions own a sealed environment. Neither shares
+// mutable state with any other session.
+type Session struct {
+	// ID is the registry key ("s1", "s2", …); seq its creation order.
+	ID  string
+	seq int
+
+	cfg SessionConfig
+
+	// env is the sealed environment of a world-backed session; nil for
+	// ingest sessions.
+	env *experiments.Env
+
+	// backend executes this session's merges; sink holds the live
+	// per-protocol grouping streams (ingest sessions only).
+	backend resolver.Backend
+	sink    *resolver.Sink
+	queue   chan ingestItem
+	done    chan struct{}
+	hook    func()
+
+	// sendMu guards queue sends against close; closed flips once.
+	sendMu sync.RWMutex
+	closed bool
+
+	// received counts observations accepted into the queue; applied counts
+	// observations the worker has landed in the sink.
+	received atomic.Int64
+	applied  atomic.Int64
+
+	// viewMu guards the memoized snapshot; view caches the partitions as of
+	// view.at applied observations.
+	viewMu sync.Mutex
+	view   *sessionView
+}
+
+// sortSessions orders sessions by creation sequence.
+func sortSessions(ss []*Session) {
+	sort.Slice(ss, func(i, j int) bool { return ss[i].seq < ss[j].seq })
+}
+
+// createSession registers a new tenant. It fails when draining or at
+// capacity; world-backed construction runs outside the registry lock so slow
+// builds don't block other tenants.
+func (s *Server) createSession(cfg SessionConfig) (*Session, error) {
+	if cfg.Backend == "" {
+		cfg.Backend = "streaming"
+	}
+	backend, err := resolver.New(cfg.Backend, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	sess := &Session{cfg: cfg, backend: backend}
+	if cfg.World {
+		if cfg.Scale == 0 {
+			cfg.Scale = 0.05
+			sess.cfg.Scale = cfg.Scale
+		}
+		if cfg.Scale < 0 || cfg.Scale > s.cfg.MaxScale {
+			return nil, fmt.Errorf("scale %v out of range (0, %v]", cfg.Scale, s.cfg.MaxScale)
+		}
+		env, err := buildWorld(cfg, backend)
+		if err != nil {
+			return nil, err
+		}
+		sess.env = env
+	} else {
+		sess.sink = resolver.NewSink()
+		sess.queue = make(chan ingestItem, s.cfg.QueueDepth)
+		sess.done = make(chan struct{})
+		sess.hook = s.cfg.applyHook
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, errClosed
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		return nil, fmt.Errorf("%w (%d sessions)", errCapacity, s.cfg.MaxSessions)
+	}
+	s.nextID++
+	sess.ID = fmt.Sprintf("s%d", s.nextID)
+	sess.seq = s.nextID
+	s.sessions[sess.ID] = sess
+	if sess.queue != nil {
+		go sess.loop()
+	}
+	return sess, nil
+}
+
+// buildWorld measures one tenant's private environment, mirroring the
+// facade's option mapping (topo defaults, seed driving both generation and
+// scan order).
+func buildWorld(cfg SessionConfig, backend resolver.Backend) (*experiments.Env, error) {
+	tc := topo.Default()
+	if cfg.Seed != 0 {
+		tc.Seed = cfg.Seed
+	}
+	tc.Scale = cfg.Scale
+	return experiments.BuildEnv(experiments.Options{
+		Topo: tc,
+		Scan: experiments.ScanOptions{
+			Workers:     cfg.Workers,
+			Seed:        tc.Seed,
+			Parallelism: cfg.Parallelism,
+		},
+		Backend: backend,
+	})
+}
+
+// loop is the session worker: it drains the queue into the live sink,
+// acknowledging flush markers in arrival order.
+func (sess *Session) loop() {
+	defer close(sess.done)
+	for it := range sess.queue {
+		if it.flush != nil {
+			close(it.flush)
+			continue
+		}
+		if sess.hook != nil {
+			sess.hook()
+		}
+		sess.sink.Observe(it.proto, it.obs)
+		sess.applied.Add(1)
+	}
+}
+
+// offer enqueues one observation without blocking. errQueueFull asks the
+// client to back off; errClosed means the session is gone.
+func (sess *Session) offer(p ident.Protocol, o alias.Observation) error {
+	sess.sendMu.RLock()
+	defer sess.sendMu.RUnlock()
+	if sess.closed {
+		return errClosed
+	}
+	select {
+	case sess.queue <- ingestItem{proto: p, obs: o}:
+		sess.received.Add(1)
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// flush enqueues a marker and waits until the worker has applied everything
+// queued before it, bounded by cancel.
+func (sess *Session) flush(cancel <-chan struct{}) error {
+	marker := ingestItem{flush: make(chan struct{})}
+	sess.sendMu.RLock()
+	if sess.closed {
+		sess.sendMu.RUnlock()
+		return errClosed
+	}
+	select {
+	case sess.queue <- marker:
+		sess.sendMu.RUnlock()
+	case <-cancel:
+		sess.sendMu.RUnlock()
+		return errTimedOut
+	}
+	select {
+	case <-marker.flush:
+		return nil
+	case <-cancel:
+		return errTimedOut
+	}
+}
+
+// close stops the worker after it finishes the observations already queued.
+// Idempotent; a no-op for world-backed sessions.
+func (sess *Session) close() {
+	if sess.queue == nil {
+		return
+	}
+	sess.sendMu.Lock()
+	defer sess.sendMu.Unlock()
+	if sess.closed {
+		return
+	}
+	sess.closed = true
+	close(sess.queue)
+}
+
+// drain applies every queued observation, then stops the worker — the
+// SIGTERM path. Bounded by cancel.
+func (sess *Session) drain(cancel <-chan struct{}) error {
+	if sess.queue == nil {
+		return nil
+	}
+	if err := sess.flush(cancel); err != nil && err != errClosed {
+		return err
+	}
+	sess.close()
+	select {
+	case <-sess.done:
+		return nil
+	case <-cancel:
+		return errTimedOut
+	}
+}
+
+// sessionView is one memoized point-in-time analysis snapshot: the scored
+// partitions, their digests, and a by-name index for the sets endpoint.
+type sessionView struct {
+	at        int64
+	parts     []scenario.Partition
+	digest    string
+	breakdown []scenario.PartitionDigest
+	byName    map[string][]alias.Set
+}
+
+// snapshot returns the session's current analysis view, recomputing only
+// when observations have been applied since the cached one. World-backed
+// sessions compute once (their applied count never moves) and additionally
+// share the underlying env memoization.
+func (sess *Session) snapshot() *sessionView {
+	sess.viewMu.Lock()
+	defer sess.viewMu.Unlock()
+	at := sess.applied.Load()
+	if sess.view != nil && sess.view.at == at {
+		return sess.view
+	}
+	var parts []scenario.Partition
+	if sess.env != nil {
+		parts = scenario.ScoredPartitions(sess.env)
+	} else {
+		parts = sess.livePartitions()
+	}
+	v := &sessionView{at: at, parts: parts, byName: make(map[string][]alias.Set, len(parts))}
+	v.digest, v.breakdown = scenario.DigestPartitions(parts)
+	for _, p := range parts {
+		v.byName[p.Name] = p.Sets
+	}
+	sess.view = v
+	return v
+}
+
+// livePartitions derives the scored partitions from the live streams,
+// mirroring scenario.ScoredPartitions partition for partition so an ingest
+// session's sets_digest is directly comparable with a scorecard's: the
+// per-protocol non-singleton groups, the per-family union merges of the
+// non-singleton family subsets, and the dual-stack sets of the all-family
+// merge.
+func (sess *Session) livePartitions() []scenario.Partition {
+	order := []ident.Protocol{ident.SSH, ident.BGP, ident.SNMP}
+	sets := make(map[ident.Protocol][]alias.Set, len(order))
+	for _, p := range order {
+		sets[p] = sess.sink.Sets(p)
+	}
+	var parts []scenario.Partition
+	for _, p := range order {
+		parts = append(parts, scenario.Partition{
+			Name: strings.ToLower(p.String()),
+			Sets: alias.NonSingleton(sets[p]),
+		})
+	}
+	for _, v4 := range []bool{true, false} {
+		name := "union-v4"
+		if !v4 {
+			name = "union-v6"
+		}
+		merged := sess.backend.Merge(
+			alias.NonSingleton(alias.FilterFamily(sets[ident.SSH], v4)),
+			alias.NonSingleton(alias.FilterFamily(sets[ident.BGP], v4)),
+			alias.NonSingleton(alias.FilterFamily(sets[ident.SNMP], v4)),
+		)
+		parts = append(parts, scenario.Partition{Name: name, Sets: alias.NonSingleton(merged)})
+	}
+	dual := sess.backend.Merge(sets[ident.SSH], sets[ident.BGP], sets[ident.SNMP])
+	parts = append(parts, scenario.Partition{Name: "dualstack", Sets: alias.DualStack(dual)})
+	return parts
+}

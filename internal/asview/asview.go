@@ -1,6 +1,16 @@
 // Package asview aggregates alias and dual-stack sets by autonomous system:
 // the per-AS distributions of Figures 5 and 6 and the top-10 tables
 // (Tables 5 and 6) of the paper's AS-level analysis.
+//
+// The aggregation is a join through a Mapper, the address→origin-AS oracle:
+// FromMap lifts a synthetic world's assignment table, and a real deployment
+// would wrap a longest-prefix-match table built from RouteViews. On top of
+// it, SpreadPerSet measures how many ASes one set straddles (Figure 5) and
+// SetsPerAS counts sets per AS — a set spanning several ASes counts once in
+// each, the paper's per-AS accounting (Figure 6). Top orders ASes by count
+// with ASN as the deterministic tiebreak, which is what lets the rendered
+// tables take part in the byte-determinism contract. The same counts feed
+// ecdf for the figure curves and the aliasd daemon's /v1/asview endpoint.
 package asview
 
 import (
@@ -71,12 +81,13 @@ func SetsPerAS(m Mapper, sets []alias.Set) map[uint32]int {
 	return counts
 }
 
-// ASCount is one row of a top-N table.
+// ASCount is one row of a top-N table. The JSON tags are the aliasd
+// /v1/asview wire shape.
 type ASCount struct {
 	// ASN is the autonomous system number.
-	ASN uint32
+	ASN uint32 `json:"asn"`
 	// Sets is the number of alias (or dual-stack) sets attributed to it.
-	Sets int
+	Sets int `json:"sets"`
 }
 
 // Top returns the n largest ASes by set count, ties broken by ASN for

@@ -1,6 +1,15 @@
 // Package ecdf computes and renders empirical cumulative distribution
 // functions — the presentation form of the paper's Figures 3–6 (addresses
 // per alias set, ASes per set, sets per AS).
+//
+// An ECDF keeps its samples sorted, so At(x) is the exact empirical
+// fraction ≤ x (no binning) and Quantile is its inverse. Render samples one
+// or more Series at a shared set of x points — LogXPoints for the paper's
+// log-x axes, LinearXPoints otherwise — and draws a fixed-width ASCII plot
+// with deterministic ticks: same samples, same bytes, which is how the
+// figures participate in the repo-wide byte-determinism contract.
+// Overlaying several measurement campaigns as Series in one plot reproduces
+// the paper's protocol-vs-protocol comparisons.
 package ecdf
 
 import (

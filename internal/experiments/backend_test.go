@@ -78,30 +78,25 @@ func TestBackendViewsIdentical(t *testing.T) {
 }
 
 // TestStreamingSinkFedLive asserts the streaming backend's architectural
-// payoff: the union dataset's identifier groups were resolved online by the
-// collection-time sink, not re-grouped after sealing.
+// payoff: every dataset's identifier groups — Active, Censys, and the union
+// — were resolved online by the collection-time sinks, not re-grouped after
+// sealing.
 func TestStreamingSinkFedLive(t *testing.T) {
 	env := backendEnv(t, "streaming")
-	for _, p := range ident.Protocols {
-		pre := env.Both.views.pre[p]
-		if pre == nil {
-			t.Fatalf("Both %s: no live-resolved sets installed", p)
+	for _, ds := range []*Dataset{env.Both, env.Active, env.Censys} {
+		for _, p := range ident.Protocols {
+			pre := ds.views.pre[p]
+			if pre == nil {
+				t.Fatalf("%s %s: no live-resolved sets installed", ds.Name, p)
+			}
+			// The served view must be the live-resolved slice itself, and it
+			// must match a batch regroup of the sealed observations.
+			got := ds.Sets(p)
+			if len(got) > 0 && &got[0] != &pre[0] {
+				t.Errorf("%s %s: Sets() is not the live-resolved slice", ds.Name, p)
+			}
+			requireSameView(t, ds.Name+" live vs batch "+p.String(),
+				alias.Group(ds.Obs[p]), got)
 		}
-		// The served view must be the live-resolved slice itself, and it
-		// must match a batch regroup of the sealed observations.
-		got := env.Both.Sets(p)
-		if len(got) > 0 && &got[0] != &pre[0] {
-			t.Errorf("Both %s: Sets() is not the live-resolved slice", p)
-		}
-		requireSameView(t, "live vs batch "+p.String(), alias.Group(env.Both.Obs[p]), got)
-	}
-	// Active and Censys were not pre-resolved; their groups still come out
-	// identical through the streaming backend's replay path.
-	for _, p := range ident.Protocols {
-		if env.Active.views.pre[p] != nil {
-			t.Fatalf("Active %s: unexpectedly pre-resolved", p)
-		}
-		requireSameView(t, "active replay "+p.String(),
-			alias.Group(env.Active.Obs[p]), env.Active.Sets(p))
 	}
 }

@@ -27,6 +27,25 @@ type ObservationSink interface {
 	Observe(p ident.Protocol, o alias.Observation)
 }
 
+// TeeSink fans one observation stream out to several sinks — how a campaign
+// feeds both its own per-dataset sink and the shared union sink. Nil members
+// are skipped.
+func TeeSink(sinks ...ObservationSink) ObservationSink {
+	return teeSink(sinks)
+}
+
+// teeSink is TeeSink's implementation.
+type teeSink []ObservationSink
+
+// Observe forwards to every member sink.
+func (t teeSink) Observe(p ident.Protocol, o alias.Observation) {
+	for _, s := range t {
+		if s != nil {
+			s.Observe(p, o)
+		}
+	}
+}
+
 // ScanOptions tune the collection phase.
 type ScanOptions struct {
 	// Workers bounds service-scan concurrency; 0 picks 256.

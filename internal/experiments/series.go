@@ -113,14 +113,17 @@ func (s *EnvSeries) Advance() (*Epoch, error) {
 	s.next++
 	w := s.World
 
-	// A streaming backend consumes observations online: one fresh sink per
-	// epoch taps both measurement campaigns, so the union dataset's alias
-	// sets are fully grouped the moment the scans return.
-	scanOpts := s.opts.Scan
-	var sink *resolver.Sink
+	// A streaming backend consumes observations online: per epoch, each
+	// campaign feeds its own fresh sink plus a shared union sink, so every
+	// dataset's alias sets — Active, Censys, and the union — are fully
+	// grouped the moment the scans return. This is the live per-dataset view
+	// wiring the resolution daemon builds on.
+	activeOpts, censysOpts := s.opts.Scan, s.opts.Scan
+	var activeSink, censysSink, unionSink *resolver.Sink
 	if f, ok := s.opts.Backend.(resolver.LiveFeeder); ok {
-		sink = f.NewSink()
-		scanOpts.Sink = sink
+		activeSink, censysSink, unionSink = f.NewSink(), f.NewSink(), f.NewSink()
+		activeOpts.Sink = TeeSink(activeSink, unionSink)
+		censysOpts.Sink = TeeSink(censysSink, unionSink)
 	}
 
 	var stats EpochStats
@@ -130,7 +133,7 @@ func (s *EnvSeries) Advance() (*Epoch, error) {
 		stats.EpochChurnStats = w.ApplyEpochChurn(s.opts.EpochChurn, e)
 	}
 
-	censys, err := CollectCensys(w, scanOpts)
+	censys, err := CollectCensys(w, censysOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +142,7 @@ func (s *EnvSeries) Advance() (*Epoch, error) {
 		// Odd round numbers; epoch-boundary renumbering uses the even ones.
 		stats.IntraChurned = w.ApplyChurn(s.opts.ChurnFraction, 2*e+1)
 	}
-	active, err := CollectActive(w, scanOpts)
+	active, err := CollectActive(w, activeOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -150,12 +153,15 @@ func (s *EnvSeries) Advance() (*Epoch, error) {
 		Both:   Union("Union", active, censys),
 	}
 	env.seal(s.opts.Backend)
-	if sink != nil {
-		// The sink saw the union of both campaigns — exactly Both's
-		// observations — so its online groups are Both's identifier views,
-		// byte-identical to a batch regroup of the sealed data.
+	if unionSink != nil {
+		// Each sink saw exactly its dataset's observations (the union sink
+		// the union of both campaigns), so the online groups are that
+		// dataset's identifier views, byte-identical to a batch regroup of
+		// the sealed data.
 		for _, p := range ident.Protocols {
-			env.Both.preGroup(p, sink.Sets(p))
+			env.Active.preGroup(p, activeSink.Sets(p))
+			env.Censys.preGroup(p, censysSink.Sets(p))
+			env.Both.preGroup(p, unionSink.Sets(p))
 		}
 	}
 	return &Epoch{Env: env, Stats: stats, Truth: w.Truth.Snapshot()}, nil

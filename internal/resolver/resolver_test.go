@@ -171,6 +171,48 @@ func TestLatestStreamReplaces(t *testing.T) {
 	}
 }
 
+// TestStreamSnapshotDuringFeed: Sets may interleave with Observe — the
+// session-safe contract the resolution daemon relies on. Every snapshot is a
+// well-formed partition, and the final snapshot matches the batch grouping.
+func TestStreamSnapshotDuringFeed(t *testing.T) {
+	obs := corpus(7, 4000)
+	want := alias.Group(obs)
+	st := NewStream()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, o := range obs {
+			st.Observe(o)
+		}
+	}()
+	// Query mid-ingest: each snapshot must be internally consistent (sorted,
+	// canonical) even while observations keep landing.
+	for i := 0; i < 50; i++ {
+		sets := st.Sets()
+		for j := 1; j < len(sets); j++ {
+			if string(sets[j-1].Key()) > string(sets[j].Key()) {
+				t.Fatalf("snapshot %d not in canonical order at set %d", i, j)
+			}
+		}
+	}
+	<-done
+	requireSameSets(t, "final snapshot", want, st.Sets())
+}
+
+// TestSinkStreamHandle: Sink.Stream exposes the live per-protocol handle the
+// daemon's sessions hold.
+func TestSinkStreamHandle(t *testing.T) {
+	s := NewSink()
+	a := netip.MustParseAddr("10.0.0.9")
+	s.Observe(ident.SSH, alias.Observation{Addr: a, ID: ident.Identifier{Proto: ident.SSH, Digest: "z"}})
+	if got := s.Stream(ident.SSH).Len(); got != 1 {
+		t.Fatalf("SSH stream handle tracks %d identifiers, want 1", got)
+	}
+	if got := s.Stream(ident.BGP).Len(); got != 0 {
+		t.Fatalf("BGP stream handle tracks %d identifiers, want 0", got)
+	}
+}
+
 // TestSinkRoutesPerProtocol: observations land in their protocol's stream.
 func TestSinkRoutesPerProtocol(t *testing.T) {
 	s := NewSink()

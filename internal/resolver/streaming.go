@@ -46,9 +46,12 @@ func (Streaming) NewSink() *Sink { return NewSink() }
 
 // Stream maintains identifier groups online: every Observe call lands the
 // observation in its identifier's set immediately, so alias sets exist the
-// moment the scan finishes — no post-hoc grouping pass. Safe for concurrent
-// Observe calls (scan worker pools feed it directly); Sets must not run
-// concurrently with Observe.
+// moment the scan finishes — no post-hoc grouping pass. The handle is
+// session-safe: Observe may be called concurrently from any number of
+// goroutines (scan worker pools and daemon ingest workers feed it directly),
+// and Sets/Len may run concurrently with Observe — they snapshot the
+// observations applied so far, which is exactly the point-in-time view a
+// long-running resolution service hands to queries arriving mid-ingest.
 type Stream struct {
 	mu     sync.Mutex
 	ids    map[ident.Identifier]int32
@@ -81,8 +84,10 @@ func (s *Stream) Len() int {
 	return len(s.groups)
 }
 
-// Sets finalises the stream into canonical alias sets — byte-identical to
-// alias.Group over the same observations in any order.
+// Sets snapshots the stream into canonical alias sets — byte-identical to
+// alias.Group over the observations applied so far, in any order. It may run
+// concurrently with Observe; observations landing after the snapshot begins
+// appear in the next call.
 func (s *Stream) Sets() []alias.Set {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -224,10 +229,12 @@ func (l *LatestStream) Sets() []alias.Set {
 	return alias.Group(obs)
 }
 
-// Sink adapts one Stream per protocol for the collection pipeline: scan
-// worker pools call Observe concurrently as identifiers are extracted
-// mid-sweep, so by the time collection returns, every protocol's alias sets
-// are already grouped. It satisfies experiments.ObservationSink.
+// Sink adapts one Stream per protocol for the collection pipeline and the
+// resolution daemon: scan worker pools (or HTTP ingest workers) call Observe
+// concurrently as identifiers are extracted, so by the time collection
+// returns — or whenever a live query lands — every protocol's alias sets are
+// already grouped. It satisfies experiments.ObservationSink, and like its
+// streams it is session-safe: Sets snapshots may interleave with Observe.
 type Sink struct {
 	// streams is indexed by ident.Protocol (SSH, BGP, SNMP).
 	streams [3]*Stream
@@ -248,7 +255,13 @@ func (s *Sink) Observe(p ident.Protocol, o alias.Observation) {
 	s.streams[p].Observe(o)
 }
 
-// Sets finalises one protocol's stream into canonical alias sets.
+// Sets snapshots one protocol's stream into canonical alias sets.
 func (s *Sink) Sets(p ident.Protocol) []alias.Set {
 	return s.streams[p].Sets()
+}
+
+// Stream exposes one protocol's live grouping handle — the session-safe
+// structure a long-running service holds per tenant.
+func (s *Sink) Stream(p ident.Protocol) *Stream {
+	return s.streams[p]
 }

@@ -96,9 +96,12 @@ type Result struct {
 	// Backend names the resolver strategy the run resolved through, and
 	// SetsDigest is a SHA-256 over every scored alias-set partition in
 	// canonical order — equal digests mean byte-identical alias sets, the
-	// cross-backend equivalence the matrix asserts.
-	Backend    string `json:"backend,omitempty"`
-	SetsDigest string `json:"sets_digest,omitempty"`
+	// cross-backend equivalence the matrix asserts. PartitionDigests breaks
+	// the digest down per partition so a divergence names the partition that
+	// differs instead of just "the hashes disagree".
+	Backend          string            `json:"backend,omitempty"`
+	SetsDigest       string            `json:"sets_digest,omitempty"`
+	PartitionDigests []PartitionDigest `json:"partition_digests,omitempty"`
 	// Devices / V4Addresses / V6Addresses size the measured world.
 	Devices     int `json:"devices"`
 	V4Addresses int `json:"v4_addresses"`
@@ -304,36 +307,93 @@ func score(p Preset, cfg topo.Config, quick bool, env *experiments.Env, truth *t
 		Confirmed:    run.Tally.Confirmed,
 		Split:        run.Tally.Split,
 	}
-	res.SetsDigest = setsDigest(env)
+	res.SetsDigest, res.PartitionDigests = DigestPartitions(ScoredPartitions(env))
 	return res
 }
 
-// setsDigest hashes every alias-set partition the scorecard reads, in
-// canonical order: the per-protocol non-singleton groups, the per-family
-// union partitions, and the dual-stack sets. Two runs with equal digests
-// produced byte-identical alias sets — the cross-backend equivalence check
-// reduces to comparing these strings.
-func setsDigest(env *experiments.Env) string {
-	h := sha256.New()
-	feed := func(sets []alias.Set) {
-		for _, s := range sets {
-			h.Write([]byte(s.Key()))
-			h.Write([]byte{0})
-		}
-		h.Write([]byte{0xff})
-	}
+// Partition is one named alias-set partition contributing to a sets digest.
+type Partition struct {
+	// Name is the canonical partition key ("ssh", "union-v4", "dualstack").
+	Name string
+	// Sets is the partition in canonical order.
+	Sets []alias.Set
+}
+
+// PartitionDigest is one partition's contribution to a sets digest, keyed so
+// that a cross-backend (or cross-service) divergence can name the first
+// partition that differs.
+type PartitionDigest struct {
+	Partition string `json:"partition"`
+	Digest    string `json:"digest"`
+}
+
+// ScoredPartitions lists every alias-set partition a scorecard reads, in
+// canonical order: the per-protocol non-singleton groups (SSH and BGP from
+// the union dataset, SNMPv3 from the active scan), the per-family union
+// partitions, and the dual-stack sets.
+func ScoredPartitions(env *experiments.Env) []Partition {
+	var parts []Partition
 	for _, proto := range []ident.Protocol{ident.SSH, ident.BGP, ident.SNMP} {
 		ds := env.Both
 		if proto == ident.SNMP {
 			ds = env.Active
 		}
-		feed(ds.NonSingletonSets(proto))
+		parts = append(parts, Partition{
+			Name: strings.ToLower(proto.String()),
+			Sets: ds.NonSingletonSets(proto),
+		})
 	}
 	for _, v4 := range []bool{true, false} {
-		feed(env.UnionFamilyNonSingleton(v4))
+		name := "union-v4"
+		if !v4 {
+			name = "union-v6"
+		}
+		parts = append(parts, Partition{Name: name, Sets: env.UnionFamilyNonSingleton(v4)})
 	}
-	feed(env.DualStackSets())
-	return hex.EncodeToString(h.Sum(nil))
+	parts = append(parts, Partition{Name: "dualstack", Sets: env.DualStackSets()})
+	return parts
+}
+
+// DigestPartitions hashes named alias-set partitions in order and returns the
+// combined hex digest plus the per-partition breakdown. Two runs with equal
+// combined digests produced byte-identical alias sets — the cross-backend
+// equivalence check reduces to comparing these strings — and unequal runs
+// locate the first differing partition through the breakdown. The resolution
+// daemon hashes its session views through the same helper, so its digests are
+// directly comparable with scorecard digests over the same partitions.
+func DigestPartitions(parts []Partition) (string, []PartitionDigest) {
+	h := sha256.New()
+	breakdown := make([]PartitionDigest, 0, len(parts))
+	for _, part := range parts {
+		ph := sha256.New()
+		for _, s := range part.Sets {
+			ph.Write([]byte(s.Key()))
+			ph.Write([]byte{0})
+		}
+		ph.Write([]byte{0xff})
+		sum := ph.Sum(nil)
+		h.Write(sum)
+		breakdown = append(breakdown, PartitionDigest{
+			Partition: part.Name,
+			Digest:    hex.EncodeToString(sum),
+		})
+	}
+	return hex.EncodeToString(h.Sum(nil)), breakdown
+}
+
+// FirstDivergence names the first partition whose digest differs between two
+// breakdowns, for actionable divergence errors. It returns "" when the
+// breakdowns agree (or one side lacks them, as legacy reports do).
+func FirstDivergence(a, b []PartitionDigest) string {
+	if len(a) != len(b) {
+		return ""
+	}
+	for i := range a {
+		if a[i].Partition == b[i].Partition && a[i].Digest != b[i].Digest {
+			return a[i].Partition
+		}
+	}
+	return ""
 }
 
 // backendName reports the resolver backend, defaulting legacy reports to

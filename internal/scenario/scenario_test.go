@@ -58,6 +58,36 @@ func TestRunUnknownScenario(t *testing.T) {
 	}
 }
 
+// TestDigestPartitionsBreakdown: the combined digest is a function of the
+// per-partition digests, every partition is keyed, and FirstDivergence names
+// the partition that changed.
+func TestDigestPartitionsBreakdown(t *testing.T) {
+	res := tiny(t, "baseline")
+	if res.SetsDigest == "" {
+		t.Fatal("no sets digest")
+	}
+	wantParts := []string{"ssh", "bgp", "snmpv3", "union-v4", "union-v6", "dualstack"}
+	if len(res.PartitionDigests) != len(wantParts) {
+		t.Fatalf("got %d partition digests, want %d", len(res.PartitionDigests), len(wantParts))
+	}
+	for i, pd := range res.PartitionDigests {
+		if pd.Partition != wantParts[i] {
+			t.Errorf("partition %d is %q, want %q", i, pd.Partition, wantParts[i])
+		}
+		if len(pd.Digest) != 64 {
+			t.Errorf("partition %s digest %q is not a sha256 hex string", pd.Partition, pd.Digest)
+		}
+	}
+	if got := FirstDivergence(res.PartitionDigests, res.PartitionDigests); got != "" {
+		t.Fatalf("FirstDivergence on identical breakdowns = %q, want empty", got)
+	}
+	mutated := append([]PartitionDigest(nil), res.PartitionDigests...)
+	mutated[3].Digest = "deadbeef"
+	if got := FirstDivergence(res.PartitionDigests, mutated); got != "union-v4" {
+		t.Fatalf("FirstDivergence = %q, want union-v4", got)
+	}
+}
+
 func TestRunDeterministic(t *testing.T) {
 	a, err := Run("lossy", tinyOpts)
 	if err != nil {
