@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/netip"
 	"os"
 	"runtime"
 	"time"
@@ -11,7 +12,9 @@ import (
 	"aliaslimit"
 	"aliaslimit/internal/alias"
 	"aliaslimit/internal/ident"
+	"aliaslimit/internal/netsim"
 	"aliaslimit/internal/resolver"
+	"aliaslimit/internal/xrand"
 )
 
 // benchEntry is one measured operation in BENCH_analysis.json.
@@ -22,6 +25,12 @@ type benchEntry struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	// Ops is how many iterations the mean was taken over.
 	Ops int `json:"ops"`
+	// AllocsPerOp and BytesPerOp are the mean heap allocations and bytes
+	// per operation, present only for the alloc-gated entries (zero-alloc
+	// hot paths priced alongside their wall clock). Compared by the alloc
+	// branch of the -compare gate.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 }
 
 // benchReport is the machine-readable perf-trajectory artifact the CI
@@ -30,8 +39,11 @@ type benchReport struct {
 	// Scale and Seed identify the measured world.
 	Scale float64 `json:"scale"`
 	Seed  uint64  `json:"seed"`
-	// CPUs is runtime.NumCPU on the measuring host.
-	CPUs int `json:"cpus"`
+	// CPUs is runtime.NumCPU on the measuring host; GoMaxProcs is the
+	// GOMAXPROCS the run actually used — the provenance pair that makes
+	// bench JSONs from differently-sized runners interpretable.
+	CPUs       int `json:"cpus"`
+	GoMaxProcs int `json:"gomaxprocs"`
 	// GoOS and GoArch identify the platform.
 	GoOS   string `json:"goos"`
 	GoArch string `json:"goarch"`
@@ -53,13 +65,30 @@ func measure(name string, f func()) benchEntry {
 	}
 }
 
+// measureAlloc is measure plus heap accounting: it warms f once (the gated
+// paths are steady-state arenas — first-call growth is priced separately by
+// the wall-clock entries) and reports mean allocations and bytes per op from
+// the runtime's monotonic malloc counters.
+func measureAlloc(name string, f func()) benchEntry {
+	f() // warm the arena: the gate prices steady state
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	e := measure(name, f)
+	runtime.ReadMemStats(&after)
+	allocs := float64(after.Mallocs-before.Mallocs) / float64(e.Ops)
+	bytes := float64(after.TotalAlloc-before.TotalAlloc) / float64(e.Ops)
+	e.AllocsPerOp, e.BytesPerOp = &allocs, &bytes
+	return e
+}
+
 // writeBenchJSON builds a study, measures the analysis hot paths (grouping,
 // merge, per-table and per-figure render, full Run), and writes the JSON
 // report to path ("-" for stdout).
 func writeBenchJSON(path string, scale float64, seed uint64, workers, parallelism int, stdout, stderr io.Writer) error {
 	rep := benchReport{
 		Scale: scale, Seed: seed,
-		CPUs: runtime.NumCPU(), GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
 	}
 
 	// Full pipeline: world generation, both measurement campaigns, facade.
@@ -97,7 +126,54 @@ func writeBenchJSON(path string, scale float64, seed uint64, workers, parallelis
 		Name: "run_longitudinal", Ops: 1, NsPerOp: float64(time.Since(start).Nanoseconds()),
 	})
 
+	// The megascale-x10 preset's pipeline at a fixed small scale (like
+	// run_longitudinal: independent of -scale so the entry stays comparable
+	// across gate workloads) — the throughput preset the zero-alloc hot
+	// paths exist for.
+	start = time.Now()
+	if _, err := aliaslimit.RunScenario("megascale-x10", aliaslimit.ScenarioOptions{
+		Seed: seed, Scale: 0.05, Workers: workers, Parallelism: parallelism,
+	}); err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results, benchEntry{
+		Name: "run_megascale_x10", Ops: 1, NsPerOp: float64(time.Since(start).Nanoseconds()),
+	})
+
 	env := study.Env()
+
+	// Alloc-gated entries: the zero-alloc contracts, priced with heap
+	// accounting so the -compare gate catches allocation regressions the
+	// wall clock hides.
+	grouper := alias.NewGrouper()
+	var groupSets []alias.Set
+	var groupBacking []netip.Addr
+	rep.Results = append(rep.Results,
+		measureAlloc("grouping_steady_state", func() {
+			grouper.Reset()
+			for _, o := range env.Both.Obs[ident.SSH] {
+				grouper.Observe(o)
+			}
+			groupSets, groupBacking = grouper.AppendSets(groupSets[:0], groupBacking[:0])
+		}),
+	)
+	drawAddr := netip.AddrFrom4([4]byte{203, 0, 113, 9})
+	faults := netsim.Faults{Seed: seed, LossRate: 0.03, ThrottleRate: 0.05}
+	rep.Results = append(rep.Results,
+		measureAlloc("fault_draw", func() {
+			faults.Draw("active", drawAddr, 22)
+		}),
+		measureAlloc("keyed_draw", func() {
+			k := xrand.NewHasher()
+			k.KeyUint(seed)
+			k.Key("wire-down")
+			k.KeyInt(1)
+			k.Key("device-0001")
+			k.KeyAddr(drawAddr)
+			_ = k.Prob()
+		}),
+	)
+
 	rep.Results = append(rep.Results,
 		measure("grouping_union_ssh", func() { alias.Group(env.Both.Obs[ident.SSH]) }),
 		measure("merge_union_v4", func() {

@@ -19,34 +19,48 @@ import (
 // micro-entries jitter far more than 30% between runs and machines.
 const minRegressDeltaNs = 250_000
 
-// regression is one entry that got slower past the gate's threshold.
+// minRegressDeltaAllocs is the alloc branch's absolute floor: a steady-state
+// path whose baseline is ~2 allocs/op may jitter by a handful (pool refills,
+// map growth crossing a threshold) without signalling a real regression; a
+// re-introduced per-item allocation blows straight past it.
+const minRegressDeltaAllocs = 8.0
+
+// regression is one entry that got slower past the gate's threshold, on the
+// wall-clock axis ("ns/op") or the allocation axis ("allocs/op").
 type regression struct {
-	name           string
-	baseNs, currNs float64
+	name       string
+	axis       string
+	base, curr float64
 }
 
-// ratio is the slowdown factor (current over baseline).
-func (r regression) ratio() float64 { return r.currNs / r.baseNs }
+// ratio is the regression factor (current over baseline).
+func (r regression) ratio() float64 { return r.curr / r.base }
 
 // compareReports returns the entries of curr that regressed against base by
 // more than maxRegress (a fraction: 0.30 fails anything >1.3× slower) and
 // past the absolute noise floor. Entries present on only one side are
 // ignored — adding or retiring a measurement must not break the gate.
 func compareReports(base, curr benchReport, maxRegress float64) []regression {
-	baseNs := make(map[string]float64, len(base.Results))
+	baseline := make(map[string]benchEntry, len(base.Results))
 	for _, e := range base.Results {
-		if e.NsPerOp > 0 {
-			baseNs[e.Name] = e.NsPerOp
-		}
+		baseline[e.Name] = e
 	}
 	var regs []regression
 	for _, e := range curr.Results {
-		b, ok := baseNs[e.Name]
+		b, ok := baseline[e.Name]
 		if !ok {
 			continue
 		}
-		if e.NsPerOp > b*(1+maxRegress) && e.NsPerOp-b > minRegressDeltaNs {
-			regs = append(regs, regression{name: e.Name, baseNs: b, currNs: e.NsPerOp})
+		if b.NsPerOp > 0 && e.NsPerOp > b.NsPerOp*(1+maxRegress) && e.NsPerOp-b.NsPerOp > minRegressDeltaNs {
+			regs = append(regs, regression{name: e.Name, axis: "ns/op", base: b.NsPerOp, curr: e.NsPerOp})
+		}
+		// Alloc branch: only entries carrying heap accounting on both sides
+		// participate — dropping or adding the instrumentation must not fail
+		// the gate, exactly like adding or retiring an entry.
+		if b.AllocsPerOp != nil && e.AllocsPerOp != nil &&
+			*e.AllocsPerOp > *b.AllocsPerOp*(1+maxRegress) &&
+			*e.AllocsPerOp-*b.AllocsPerOp > minRegressDeltaAllocs {
+			regs = append(regs, regression{name: e.Name, axis: "allocs/op", base: *b.AllocsPerOp, curr: *e.AllocsPerOp})
 		}
 	}
 	sort.Slice(regs, func(i, j int) bool { return regs[i].ratio() > regs[j].ratio() })
@@ -98,8 +112,13 @@ func runCompare(basePath, currPath string, maxRegress float64, stdout io.Writer)
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%d hot path(s) regressed >%.0f%% vs %s:", len(regs), maxRegress*100, basePath)
 	for _, r := range regs {
+		if r.axis == "allocs/op" {
+			fmt.Fprintf(&sb, "\n  %-24s %.2fx more allocations (%.1f -> %.1f allocs/op)",
+				r.name, r.ratio(), r.base, r.curr)
+			continue
+		}
 		fmt.Fprintf(&sb, "\n  %-24s %.2fx slower (%.3fms -> %.3fms)",
-			r.name, r.ratio(), r.baseNs/1e6, r.currNs/1e6)
+			r.name, r.ratio(), r.base/1e6, r.curr/1e6)
 	}
 	return fmt.Errorf("%s", sb.String())
 }

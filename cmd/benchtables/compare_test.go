@@ -121,3 +121,69 @@ func TestRunCompareEndToEnd(t *testing.T) {
 		t.Fatal("missing baseline accepted")
 	}
 }
+
+// allocEntry builds one alloc-instrumented entry.
+func allocEntry(name string, ns, allocs, bytes float64) benchEntry {
+	return benchEntry{Name: name, NsPerOp: ns, Ops: 1, AllocsPerOp: &allocs, BytesPerOp: &bytes}
+}
+
+// TestCompareReportsFailsOnInjectedAllocBump is the alloc gate's probe: a
+// steady-state entry whose allocations double (2 → ~20 allocs/op, the shape
+// of a re-introduced per-item allocation) must fail the gate even though its
+// wall clock is unchanged.
+func TestCompareReportsFailsOnInjectedAllocBump(t *testing.T) {
+	base := benchReport{Scale: 0.15, Seed: 1, Results: []benchEntry{
+		allocEntry("grouping_steady_state", 3e6, 2, 800),
+		allocEntry("fault_draw", 50, 0, 0),
+	}}
+	curr := benchReport{Scale: 0.15, Seed: 1, Results: []benchEntry{
+		allocEntry("grouping_steady_state", 3e6, 20, 700_000),
+		allocEntry("fault_draw", 52, 0, 0),
+	}}
+	regs := compareReports(base, curr, 0.30)
+	if len(regs) != 1 || regs[0].name != "grouping_steady_state" || regs[0].axis != "allocs/op" {
+		t.Fatalf("want exactly grouping_steady_state flagged on allocs/op, got %+v", regs)
+	}
+	if r := regs[0].ratio(); r < 9.9 || r > 10.1 {
+		t.Fatalf("ratio %v, want ~10", r)
+	}
+}
+
+// TestCompareReportsAllocFloorAndMissingInstrumentation pins the alloc
+// branch's tolerance: jitter under the absolute floor passes, and entries
+// instrumented on only one side never participate.
+func TestCompareReportsAllocFloorAndMissingInstrumentation(t *testing.T) {
+	base := benchReport{Scale: 0.15, Seed: 1, Results: []benchEntry{
+		allocEntry("grouping_steady_state", 3e6, 2, 800),
+		{Name: "run_full", NsPerOp: 200e6, Ops: 1}, // no alloc data in baseline
+	}}
+	curr := benchReport{Scale: 0.15, Seed: 1, Results: []benchEntry{
+		allocEntry("grouping_steady_state", 3e6, 9, 1200), // 4.5x but only +7 allocs
+		allocEntry("run_full", 200e6, 1e6, 1e9),           // instrumented only now
+	}}
+	if regs := compareReports(base, curr, 0.30); len(regs) != 0 {
+		t.Fatalf("alloc floor or one-sided instrumentation flagged: %+v", regs)
+	}
+}
+
+// TestRunCompareAllocVerdict exercises the alloc gate through the CLI and
+// checks the verdict names the axis.
+func TestRunCompareAllocVerdict(t *testing.T) {
+	dir := t.TempDir()
+	base := writeTestReport(t, dir, "BENCH_baseline.json", benchReport{
+		Scale: 0.15, Seed: 1,
+		Results: []benchEntry{allocEntry("grouping_steady_state", 3e6, 2, 800)},
+	})
+	bumped := writeTestReport(t, dir, "BENCH_bumped.json", benchReport{
+		Scale: 0.15, Seed: 1,
+		Results: []benchEntry{allocEntry("grouping_steady_state", 3e6, 40, 2e6)},
+	})
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-compare", base, "-against", bumped}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("20x alloc bump passed the gate")
+	}
+	if !strings.Contains(err.Error(), "allocs/op") || !strings.Contains(err.Error(), "grouping_steady_state") {
+		t.Fatalf("verdict does not name the alloc regression: %v", err)
+	}
+}

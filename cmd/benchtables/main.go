@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"aliaslimit"
@@ -43,6 +45,43 @@ func main() {
 	}
 }
 
+// startProfiles turns on CPU profiling and/or arranges a heap profile dump,
+// returning the stop function run defers. Empty paths are no-ops.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	stop := func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return stop, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if memPath != "" {
+		cpuStop := stop
+		stop = func() {
+			cpuStop()
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush garbage so the profile shows live + cumulative truthfully
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}
+	}
+	return stop, nil
+}
+
 // run is the testable body of the command.
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
@@ -59,12 +98,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	compare := fs.String("compare", "", "bench-regression gate: baseline BENCH_*.json to compare -against")
 	against := fs.String("against", "", "current BENCH_*.json for the -compare gate")
 	maxRegress := fs.Float64("maxregress", 0.30, "fail -compare when any entry is this fraction slower")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
 		}
 		return errBadFlags
 	}
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
 	if *compare != "" || *against != "" {
 		if *compare == "" || *against == "" {

@@ -30,6 +30,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -72,12 +74,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	sweep := fs.String("sweep", "", "axis sweep, e.g. loss=1,5,10,20,30 (percent) or epochs=2,3,5; runs the -run preset per value")
 	jsonPath := fs.String("json", "", "write the machine-readable report to this path (- for stdout)")
 	merge := fs.String("merge", "", "merge existing report files matching this glob instead of running")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
 		}
 		return errBadFlags
 	}
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
 	opts := scenario.Options{
 		Seed:        *seed,
@@ -116,6 +126,43 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fs.Usage()
 		return errBadFlags
 	}
+}
+
+// startProfiles turns on CPU profiling and/or arranges a heap profile dump,
+// returning the stop function run defers. Empty paths are no-ops.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	stop := func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return stop, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if memPath != "" {
+		cpuStop := stop
+		stop = func() {
+			cpuStop()
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush garbage so the profile shows live + cumulative truthfully
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}
+	}
+	return stop, nil
 }
 
 // printCatalog lists every preset with its catalog line.

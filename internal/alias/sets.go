@@ -146,7 +146,8 @@ func SortSets(sets []Set) {
 }
 
 // groupPair is one interned observation: a dense identifier id and the
-// observed address.
+// observed address. Only the GroupSorted reference implementation still
+// materialises these.
 type groupPair struct {
 	id   int32
 	addr netip.Addr
@@ -156,52 +157,17 @@ type groupPair struct {
 // identifier, including singletons. Duplicate (addr, id) observations — the
 // same address seen by two data sources — collapse naturally.
 //
-// Identifiers are interned into dense int32 ids and the whole input is
-// ordered with a single global sort of (id, addr) pairs; every set then
-// slices one shared backing array. Compared with the previous map-of-slices
-// implementation this removes the per-observation key materialisation and
-// the per-set sort, cutting both time and allocations on the hot analysis
-// path.
+// Observations are folded one at a time into per-identifier sorted buckets
+// (a Grouper), so the input slice is never copied, globally sorted, or even
+// required — the streaming and sharded backends feed the same core
+// incrementally. GroupSorted keeps the retired global-sort implementation as
+// the differential reference.
 func Group(obs []Observation) []Set {
-	ids := make(map[ident.Identifier]int32, len(obs))
-	pairs := make([]groupPair, len(obs))
-	for i, o := range obs {
-		id, ok := ids[o.ID]
-		if !ok {
-			id = int32(len(ids))
-			ids[o.ID] = id
-		}
-		pairs[i] = groupPair{id: id, addr: o.Addr}
+	var g Grouper
+	for _, o := range obs {
+		g.Observe(o)
 	}
-	slices.SortFunc(pairs, func(a, b groupPair) int {
-		if a.id != b.id {
-			if a.id < b.id {
-				return -1
-			}
-			return 1
-		}
-		return a.addr.Compare(b.addr)
-	})
-	// Walk the sorted pairs: identifier boundaries cut sets, adjacent equal
-	// pairs collapse. addrs never outgrows its initial capacity, so every
-	// set's Addrs aliases one allocation.
-	addrs := make([]netip.Addr, 0, len(pairs))
-	sets := make([]Set, 0, len(ids))
-	start := 0
-	for i, p := range pairs {
-		if i > 0 && pairs[i-1].id != p.id {
-			sets = append(sets, Set{Addrs: addrs[start:len(addrs):len(addrs)]})
-			start = len(addrs)
-		}
-		if len(addrs) == start || addrs[len(addrs)-1] != p.addr {
-			addrs = append(addrs, p.addr)
-		}
-	}
-	if len(pairs) > 0 {
-		sets = append(sets, Set{Addrs: addrs[start:len(addrs):len(addrs)]})
-	}
-	sortSets(sets)
-	return sets
+	return g.Sets()
 }
 
 // NonSingleton filters to sets with at least two addresses — the unit every

@@ -91,14 +91,15 @@ type LatencySummary struct {
 }
 
 // LoadReport is the harness's machine-readable outcome. Scale/Seed/CPUs/
-// GoOS/GoArch mirror the benchtables report header so the compare gate
-// accepts the file.
+// GoMaxProcs/GoOS/GoArch mirror the benchtables report header so the compare
+// gate accepts the file.
 type LoadReport struct {
-	Scale  float64 `json:"scale"`
-	Seed   uint64  `json:"seed"`
-	CPUs   int     `json:"cpus"`
-	GoOS   string  `json:"goos"`
-	GoArch string  `json:"goarch"`
+	Scale      float64 `json:"scale"`
+	Seed       uint64  `json:"seed"`
+	CPUs       int     `json:"cpus"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	GoOS       string  `json:"goos"`
+	GoArch     string  `json:"goarch"`
 	// Clients / Observations size the run: tenants, and corpus lines each
 	// tenant ingested.
 	Clients      int `json:"clients"`
@@ -230,7 +231,8 @@ func RunLoadTest(cfg Config, opts LoadOptions) (*LoadReport, error) {
 
 	rep := &LoadReport{
 		Scale: opts.Scale, Seed: opts.Seed,
-		CPUs: runtime.NumCPU(), GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
 		Clients:      opts.Clients,
 		Observations: len(lines),
 		SetsDigest:   wantDigest,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"slices"
 	"sync"
 	"time"
 )
@@ -60,6 +61,31 @@ type HandlerFunc func(conn net.Conn, sc ServeContext)
 // Serve implements Handler.
 func (f HandlerFunc) Serve(conn net.Conn, sc ServeContext) { f(conn, sc) }
 
+// aclSet is a dense address ACL: the allowed addresses, sorted and deduped
+// for binary search. A nil set means unrestricted. Megascale worlds carry one
+// ACL per restricted service on hundreds of thousands of devices, so this is
+// a flat sorted slice rather than a hash map — half the memory, no per-entry
+// allocation, cache-friendly membership tests.
+type aclSet []netip.Addr
+
+// newACLSet builds an ACL from an address list; empty lists mean
+// unrestricted (nil).
+func newACLSet(addrs []netip.Addr) aclSet {
+	if len(addrs) == 0 {
+		return nil
+	}
+	s := make(aclSet, len(addrs))
+	copy(s, addrs)
+	slices.SortFunc(s, netip.Addr.Compare)
+	return slices.Compact(s)
+}
+
+// has reports whether a is in the set.
+func (s aclSet) has(a netip.Addr) bool {
+	_, ok := slices.BinarySearchFunc(s, a, netip.Addr.Compare)
+	return ok
+}
+
 // serviceEntry is one TCP service bound on a device, optionally restricted to
 // a subset of the device's addresses (the paper's "service configured to
 // respond only on selected addresses" ACL case).
@@ -69,7 +95,15 @@ type serviceEntry struct {
 	// it is the set of addresses that accept connections. Probes to other
 	// addresses are dropped (firewalled), not refused: that is what an ACL
 	// on a router does.
-	allowed map[netip.Addr]bool
+	allowed aclSet
+}
+
+// boundService pairs a port with its service entry. Devices bind at most a
+// handful of ports, so the service table is a flat slice scanned linearly —
+// no per-device map allocation.
+type boundService struct {
+	port uint16
+	e    *serviceEntry
 }
 
 // DeviceConfig describes a device to construct.
@@ -127,9 +161,17 @@ type Device struct {
 	asn      uint32
 	kind     DeviceKind
 	addrs    []netip.Addr
-	ifIndex  map[netip.Addr]int
-	addrASN  map[netip.Addr]uint32
 	pingable bool
+
+	// ifSorted/ifOrder are the interface lookup arena: the addresses sorted
+	// for binary search, each paired with its index into addrs. Replaces the
+	// per-device map[netip.Addr]int — built once, never mutated.
+	ifSorted []netip.Addr
+	ifOrder  []int32
+
+	// addrASN is nil for the overwhelming majority of devices whose
+	// interfaces all originate from the device's own AS.
+	addrASN map[netip.Addr]uint32
 
 	respondsFromProbed bool
 	icmpSilent         bool
@@ -138,10 +180,12 @@ type Device struct {
 	ipidModel IPIDModel
 	ipid      *ipidState
 
-	filteredVantages map[string]bool
+	// filteredVantages lists the vantage labels whose probes are dropped —
+	// at most a few entries, scanned linearly.
+	filteredVantages []string
 
 	mu       sync.RWMutex
-	services map[uint16]*serviceEntry
+	services []boundService
 
 	udp udpServices
 }
@@ -160,35 +204,75 @@ func NewDevice(cfg DeviceConfig, origin time.Time) (*Device, error) {
 		asn:                cfg.ASN,
 		kind:               cfg.Kind,
 		addrs:              append([]netip.Addr(nil), cfg.Addrs...),
-		ifIndex:            make(map[netip.Addr]int, len(cfg.Addrs)),
-		addrASN:            make(map[netip.Addr]uint32, len(cfg.AddrASN)),
 		pingable:           cfg.Pingable,
 		respondsFromProbed: cfg.RespondsFromProbed,
 		icmpSilent:         cfg.ICMPSilent,
 		fragEmitter:        cfg.EmitsFragmentIDs,
 		ipidModel:          cfg.IPID,
 		ipid:               newIPIDState(cfg.IPIDSeed, cfg.IPIDVelocity, origin),
-		services:           make(map[uint16]*serviceEntry),
 	}
 	for i, a := range d.addrs {
 		if !a.IsValid() {
 			return nil, fmt.Errorf("netsim: device %s address %d invalid", cfg.ID, i)
 		}
-		if _, dup := d.ifIndex[a]; dup {
-			return nil, fmt.Errorf("netsim: device %s duplicate address %s", cfg.ID, a)
-		}
-		d.ifIndex[a] = i
 	}
-	for a, asn := range cfg.AddrASN {
-		d.addrASN[a] = asn
+	// Interface lookup arena: one sort at construction instead of a hash map
+	// held for the device's lifetime.
+	d.ifOrder = make([]int32, len(d.addrs))
+	for i := range d.ifOrder {
+		d.ifOrder[i] = int32(i)
+	}
+	slices.SortFunc(d.ifOrder, func(x, y int32) int { return d.addrs[x].Compare(d.addrs[y]) })
+	d.ifSorted = make([]netip.Addr, len(d.addrs))
+	for i, p := range d.ifOrder {
+		d.ifSorted[i] = d.addrs[p]
+	}
+	for i := 1; i < len(d.ifSorted); i++ {
+		if d.ifSorted[i] == d.ifSorted[i-1] {
+			return nil, fmt.Errorf("netsim: device %s duplicate address %s", cfg.ID, d.ifSorted[i])
+		}
+	}
+	if len(cfg.AddrASN) > 0 {
+		d.addrASN = make(map[netip.Addr]uint32, len(cfg.AddrASN))
+		for a, asn := range cfg.AddrASN {
+			d.addrASN[a] = asn
+		}
 	}
 	if len(cfg.FilteredVantages) > 0 {
-		d.filteredVantages = make(map[string]bool, len(cfg.FilteredVantages))
-		for _, v := range cfg.FilteredVantages {
-			d.filteredVantages[v] = true
-		}
+		d.filteredVantages = append([]string(nil), cfg.FilteredVantages...)
 	}
 	return d, nil
+}
+
+// ifIndexOf returns the interface index of a, or ok=false when a is not one
+// of the device's addresses.
+func (d *Device) ifIndexOf(a netip.Addr) (int, bool) {
+	i, ok := slices.BinarySearchFunc(d.ifSorted, a, netip.Addr.Compare)
+	if !ok {
+		return 0, false
+	}
+	return int(d.ifOrder[i]), true
+}
+
+// vantageFiltered reports whether the device's upstream drops this vantage's
+// probes.
+func (d *Device) vantageFiltered(v string) bool {
+	for _, f := range d.filteredVantages {
+		if f == v {
+			return true
+		}
+	}
+	return false
+}
+
+// service returns the entry bound on port, or nil. Caller holds d.mu.
+func (d *Device) service(port uint16) *serviceEntry {
+	for _, b := range d.services {
+		if b.port == port {
+			return b.e
+		}
+	}
+	return nil
 }
 
 // ID returns the device's unique identifier.
@@ -215,7 +299,7 @@ func (d *Device) AddrASN(a netip.Addr) uint32 {
 
 // HasAddr reports whether a is one of the device's interfaces.
 func (d *Device) HasAddr(a netip.Addr) bool {
-	_, ok := d.ifIndex[a]
+	_, ok := d.ifIndexOf(a)
 	return ok
 }
 
@@ -234,23 +318,28 @@ func (d *Device) IPIDVelocity() float64 { return d.ipid.Velocity() }
 // other interface are silently dropped (ACL semantics). Re-binding a port
 // replaces the previous service.
 func (d *Device) SetService(port uint16, h Handler, addrs ...netip.Addr) {
-	e := &serviceEntry{handler: h}
-	if len(addrs) > 0 {
-		e.allowed = make(map[netip.Addr]bool, len(addrs))
-		for _, a := range addrs {
-			e.allowed[a] = true
+	e := &serviceEntry{handler: h, allowed: newACLSet(addrs)}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, b := range d.services {
+		if b.port == port {
+			d.services[i].e = e
+			return
 		}
 	}
-	d.mu.Lock()
-	d.services[port] = e
-	d.mu.Unlock()
+	d.services = append(d.services, boundService{port: port, e: e})
 }
 
 // RemoveService unbinds the service on port, if any.
 func (d *Device) RemoveService(port uint16) {
 	d.mu.Lock()
-	delete(d.services, port)
-	d.mu.Unlock()
+	defer d.mu.Unlock()
+	for i, b := range d.services {
+		if b.port == port {
+			d.services = slices.Delete(d.services, i, i+1)
+			return
+		}
+	}
 }
 
 // ServicePorts returns the bound TCP ports in unspecified order.
@@ -258,8 +347,8 @@ func (d *Device) ServicePorts() []uint16 {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	ports := make([]uint16, 0, len(d.services))
-	for p := range d.services {
-		ports = append(ports, p)
+	for _, b := range d.services {
+		ports = append(ports, b.port)
 	}
 	return ports
 }
@@ -269,7 +358,7 @@ func (d *Device) ServicePorts() []uint16 {
 // when the port has no service.
 func (d *Device) ServiceAddrs(port uint16) []netip.Addr {
 	d.mu.RLock()
-	e := d.services[port]
+	e := d.service(port)
 	d.mu.RUnlock()
 	if e == nil {
 		return nil
@@ -279,7 +368,7 @@ func (d *Device) ServiceAddrs(port uint16) []netip.Addr {
 	}
 	out := make([]netip.Addr, 0, len(e.allowed))
 	for _, a := range d.addrs { // preserve interface order
-		if e.allowed[a] {
+		if e.allowed.has(a) {
 			out = append(out, a)
 		}
 	}
@@ -289,16 +378,16 @@ func (d *Device) ServiceAddrs(port uint16) []netip.Addr {
 // probeStatus classifies how the device treats a TCP SYN to (addr, port) from
 // the given vantage.
 func (d *Device) probeStatus(vantage string, addr netip.Addr, port uint16) ProbeStatus {
-	if d.filteredVantages[vantage] {
+	if d.vantageFiltered(vantage) {
 		return StatusFiltered
 	}
 	d.mu.RLock()
-	e := d.services[port]
+	e := d.service(port)
 	d.mu.RUnlock()
 	if e == nil {
 		return StatusClosed
 	}
-	if e.allowed != nil && !e.allowed[addr] {
+	if e.allowed != nil && !e.allowed.has(addr) {
 		return StatusFiltered
 	}
 	return StatusOpen
@@ -311,7 +400,7 @@ func (d *Device) handlerFor(vantage string, addr netip.Addr, port uint16) Handle
 		return nil
 	}
 	d.mu.RLock()
-	e := d.services[port]
+	e := d.service(port)
 	d.mu.RUnlock()
 	if e == nil {
 		return nil
@@ -323,10 +412,10 @@ func (d *Device) handlerFor(vantage string, addr netip.Addr, port uint16) Handle
 // if the device does not respond to such probes. A non-nil policy overrides
 // the device's own IPID model (the fabric's fault-injection hook).
 func (d *Device) sampleIPID(vantage string, addr netip.Addr, now time.Time, policy *IPIDModel) (uint16, bool) {
-	if !d.pingable || d.filteredVantages[vantage] {
+	if !d.pingable || d.vantageFiltered(vantage) {
 		return 0, false
 	}
-	idx, ok := d.ifIndex[addr]
+	idx, ok := d.ifIndexOf(addr)
 	if !ok {
 		return 0, false
 	}
@@ -341,10 +430,10 @@ func (d *Device) sampleIPID(vantage string, addr netip.Addr, now time.Time, poli
 // address the resulting ICMP port-unreachable claims as source, or ok=false
 // when the device stays silent.
 func (d *Device) icmpSource(vantage string, probed netip.Addr) (netip.Addr, bool) {
-	if d.icmpSilent || d.filteredVantages[vantage] {
+	if d.icmpSilent || d.vantageFiltered(vantage) {
 		return netip.Addr{}, false
 	}
-	if _, ok := d.ifIndex[probed]; !ok {
+	if _, ok := d.ifIndexOf(probed); !ok {
 		return netip.Addr{}, false
 	}
 	if d.respondsFromProbed {

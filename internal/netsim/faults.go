@@ -104,6 +104,14 @@ func (fl *Faults) throttled(kind byte, vantage string, addr netip.Addr, port uin
 	return fl.ThrottleRate > 0 && quench(fl.Seed, saltThrottle, kind, vantage, addr, port) < fl.ThrottleRate
 }
 
+// Draw exposes one wire's quenched fault decision — the loss and throttle
+// Bernoulli draws every fast-path probe pays under an active policy. It
+// exists for benchmarks and diagnostics (the alloc gate prices it at zero
+// heap allocations); the probe paths use the unexported equivalents.
+func (fl Faults) Draw(vantage string, addr netip.Addr, port uint16) (lost, throttled bool) {
+	return fl.lost(faultSYN, vantage, addr, port), fl.throttled(faultSYN, vantage, addr, port)
+}
+
 // SetFaults installs the fault policy on the fabric. Call it between scans,
 // never during one — like churn, fault changes are ordered world mutations
 // (the probe paths themselves read the policy with one atomic load, so a

@@ -180,3 +180,33 @@ func TestFaultUDPAndFragPaths(t *testing.T) {
 		t.Fatal("frag probe survived 100% loss")
 	}
 }
+
+// TestFaultDrawZeroAlloc enforces the megascale contract: a fault draw on
+// the probe hot path — the full loss-plus-throttle decision — performs zero
+// heap allocations. A megascale-x10 sweep makes hundreds of millions of
+// these draws; any allocation here dominates the run.
+func TestFaultDrawZeroAlloc(t *testing.T) {
+	fl := &Faults{Seed: 42, LossRate: 0.03, ThrottleRate: 0.05}
+	addr := netip.MustParseAddr("2001:db8::7")
+	var sink bool
+	allocs := testing.AllocsPerRun(200, func() {
+		sink = fl.lost(faultSYN, "active", addr, 22) || fl.throttled(faultSYN, "active", addr, 22)
+	})
+	if allocs != 0 {
+		t.Fatalf("fault draw allocated %.1f times per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+// BenchmarkFaultDraw prices one full per-wire fault decision (loss and
+// throttle streams), as every fast-path probe pays it under an active policy.
+func BenchmarkFaultDraw(b *testing.B) {
+	fl := &Faults{Seed: 42, LossRate: 0.03, ThrottleRate: 0.05}
+	addr := netip.MustParseAddr("203.0.113.77")
+	b.ReportAllocs()
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = fl.lost(faultSYN, "active", addr, 22) || fl.throttled(faultSYN, "active", addr, 22)
+	}
+	_ = sink
+}

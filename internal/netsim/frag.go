@@ -23,6 +23,9 @@ func (s *ipidState) sample32(m IPIDModel, ifIndex int, now time.Time) uint32 {
 	case IPIDRandom:
 		return uint32(s.rng.Uint64())
 	case IPIDPerInterface:
+		for ifIndex >= len(s.perIf) {
+			s.perIf = append(s.perIf, 0)
+		}
 		s.perIf[ifIndex]++
 		return uint32(s.perIf[ifIndex] + uint64(ifIndex)*104729)
 	case IPIDSharedMonotonic, IPIDHighVelocity:
@@ -46,13 +49,13 @@ func (s *ipidState) sample32(m IPIDModel, ifIndex int, now time.Time) uint32 {
 // atomically or not at all — the reason IPv6 alias resolution is hard). A
 // non-nil policy overrides the device's IPID model, as in sampleIPID.
 func (d *Device) sampleFragID(vantage string, addr netip.Addr, now time.Time, policy *IPIDModel) (uint32, bool) {
-	if !d.fragEmitter || d.filteredVantages[vantage] {
+	if !d.fragEmitter || d.vantageFiltered(vantage) {
 		return 0, false
 	}
 	if !addr.Is6() || addr.Is4In6() {
 		return 0, false
 	}
-	idx, ok := d.ifIndex[addr]
+	idx, ok := d.ifIndexOf(addr)
 	if !ok {
 		return 0, false
 	}

@@ -57,8 +57,9 @@ type ipidState struct {
 	mu sync.Mutex
 	// shared counter (models SharedMonotonic and HighVelocity)
 	counter uint64
-	// per-interface counters, keyed by interface index
-	perIf map[int]uint64
+	// per-interface counters, indexed by interface index (grown on demand —
+	// a dense slice, not a map: interface indices are small and contiguous)
+	perIf []uint64
 	// last time the background velocity was applied
 	lastTick time.Time
 	// velocity is background packets/second added to the shared counter.
@@ -72,7 +73,6 @@ type ipidState struct {
 func newIPIDState(seed uint64, velocity float64, origin time.Time) *ipidState {
 	return &ipidState{
 		counter:  seed & 0xffff,
-		perIf:    make(map[int]uint64),
 		lastTick: origin,
 		velocity: velocity,
 		rng:      xrand.NewSplitMix64(seed),
@@ -90,6 +90,9 @@ func (s *ipidState) sample(m IPIDModel, ifIndex int, now time.Time) uint16 {
 	case IPIDRandom:
 		return uint16(s.rng.Uint64())
 	case IPIDPerInterface:
+		for ifIndex >= len(s.perIf) {
+			s.perIf = append(s.perIf, 0)
+		}
 		s.perIf[ifIndex]++
 		return uint16(s.perIf[ifIndex] + uint64(ifIndex)*7919)
 	case IPIDSharedMonotonic, IPIDHighVelocity:

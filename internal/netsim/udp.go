@@ -13,39 +13,53 @@ type UDPHandler func(req []byte, sc ServeContext) []byte
 // udpServiceEntry mirrors serviceEntry for datagram services.
 type udpServiceEntry struct {
 	handler UDPHandler
-	allowed map[netip.Addr]bool
+	allowed aclSet
+}
+
+// boundUDPService pairs a UDP port with its entry (flat table, like the TCP
+// one: devices bind at most a couple of datagram ports).
+type boundUDPService struct {
+	port uint16
+	e    *udpServiceEntry
 }
 
 // udpServices lazily extends Device with datagram services without touching
 // the hot TCP paths.
 type udpServices struct {
 	mu       sync.RWMutex
-	services map[uint16]*udpServiceEntry
+	services []boundUDPService
+}
+
+// service returns the entry bound on port, or nil. Caller holds the mutex.
+func (u *udpServices) service(port uint16) *udpServiceEntry {
+	for _, b := range u.services {
+		if b.port == port {
+			return b.e
+		}
+	}
+	return nil
 }
 
 // SetUDPService binds handler on the UDP port. If addrs is non-empty, only
 // those addresses answer (ACL semantics, matching SetService).
 func (d *Device) SetUDPService(port uint16, h UDPHandler, addrs ...netip.Addr) {
-	e := &udpServiceEntry{handler: h}
-	if len(addrs) > 0 {
-		e.allowed = make(map[netip.Addr]bool, len(addrs))
-		for _, a := range addrs {
-			e.allowed[a] = true
+	e := &udpServiceEntry{handler: h, allowed: newACLSet(addrs)}
+	d.udp.mu.Lock()
+	defer d.udp.mu.Unlock()
+	for i, b := range d.udp.services {
+		if b.port == port {
+			d.udp.services[i].e = e
+			return
 		}
 	}
-	d.udp.mu.Lock()
-	if d.udp.services == nil {
-		d.udp.services = make(map[uint16]*udpServiceEntry)
-	}
-	d.udp.services[port] = e
-	d.udp.mu.Unlock()
+	d.udp.services = append(d.udp.services, boundUDPService{port: port, e: e})
 }
 
 // UDPServiceAddrs returns the addresses on which the UDP service answers, all
 // device addresses when unrestricted, or nil when the port has no service.
 func (d *Device) UDPServiceAddrs(port uint16) []netip.Addr {
 	d.udp.mu.RLock()
-	e := d.udp.services[port]
+	e := d.udp.service(port)
 	d.udp.mu.RUnlock()
 	if e == nil {
 		return nil
@@ -55,7 +69,7 @@ func (d *Device) UDPServiceAddrs(port uint16) []netip.Addr {
 	}
 	out := make([]netip.Addr, 0, len(e.allowed))
 	for _, a := range d.addrs {
-		if e.allowed[a] {
+		if e.allowed.has(a) {
 			out = append(out, a)
 		}
 	}
@@ -65,16 +79,16 @@ func (d *Device) UDPServiceAddrs(port uint16) []netip.Addr {
 // udpHandlerFor returns the handler for (addr, port) or nil when the probe
 // would be dropped.
 func (d *Device) udpHandlerFor(vantage string, addr netip.Addr, port uint16) UDPHandler {
-	if d.filteredVantages[vantage] {
+	if d.vantageFiltered(vantage) {
 		return nil
 	}
 	d.udp.mu.RLock()
-	e := d.udp.services[port]
+	e := d.udp.service(port)
 	d.udp.mu.RUnlock()
 	if e == nil {
 		return nil
 	}
-	if e.allowed != nil && !e.allowed[addr] {
+	if e.allowed != nil && !e.allowed.has(addr) {
 		return nil
 	}
 	return e.handler

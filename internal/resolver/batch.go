@@ -6,21 +6,28 @@ import (
 	"aliaslimit/internal/alias"
 )
 
-// Batch is the memoized-analysis-era implementation, now an adapter: Group
-// is alias.Group's single global (identifier, address) sort, Merge is
+// Batch is the one-shot analysis backend: Group folds the observations
+// through a pooled merge-as-you-go grouping arena (alias.Grouper — no global
+// (identifier, address) sort is ever materialised), Merge is
 // alias.MergeWith's union-find over a persistent address-interning table.
 // One Batch instance serves a whole analysis session, so repeated merges
 // over overlapping address populations (per-family, per-source, dual-stack
 // unions) reuse one hash index — the mutex serialises them, exactly as the
-// sealed views' per-dataset table used to.
+// sealed views' per-dataset table used to — and repeated groupings reuse the
+// pooled arenas instead of rebuilding bucket structures per call.
 type Batch struct {
 	mu    sync.Mutex
 	table *alias.AddrTable
+	// groupers recycles grouping arenas across Group calls; concurrent
+	// renders each take their own, so Group never serialises.
+	groupers sync.Pool
 }
 
 // NewBatch returns a batch backend with a fresh interning table.
 func NewBatch() *Batch {
-	return &Batch{table: alias.NewAddrTable()}
+	b := &Batch{table: alias.NewAddrTable()}
+	b.groupers.New = func() any { return alias.NewGrouper() }
+	return b
 }
 
 // Name implements Backend.
@@ -30,9 +37,18 @@ func (b *Batch) Name() string { return "batch" }
 // analysis views don't serialise on one instance.
 func (b *Batch) Fork() Backend { return NewBatch() }
 
-// Group implements Backend via alias.Group.
+// Group implements Backend by streaming the observations through a pooled
+// grouping arena — byte-identical to alias.Group, allocation-free in steady
+// state apart from the returned sets.
 func (b *Batch) Group(obs []alias.Observation) []alias.Set {
-	return alias.Group(obs)
+	g := b.groupers.Get().(*alias.Grouper)
+	g.Reset()
+	for _, o := range obs {
+		g.Observe(o)
+	}
+	sets := g.Sets()
+	b.groupers.Put(g)
+	return sets
 }
 
 // Merge implements Backend via alias.MergeWith over the shared table.

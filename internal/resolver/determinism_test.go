@@ -1,0 +1,102 @@
+package resolver
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"aliaslimit/internal/alias"
+	"aliaslimit/internal/ident"
+	"aliaslimit/internal/xrand"
+)
+
+// determinismCorpus builds a deterministic observation corpus shaped like a
+// real measurement round: shared identifiers (alias sets), duplicates, both
+// families.
+func determinismCorpus(seed uint64, n int) []alias.Observation {
+	rng := xrand.NewSplitMix64(seed)
+	obs := make([]alias.Observation, 0, n)
+	for i := 0; i < n; i++ {
+		id := ident.Identifier{
+			Proto:  ident.Protocol(rng.Intn(3)),
+			Digest: fmt.Sprintf("id-%04d", rng.Intn(n/5+1)),
+		}
+		var addr netip.Addr
+		if rng.Intn(4) == 0 {
+			addr = netip.AddrFrom16([16]byte{0x20, 0x01, 0xd, 0xb8, 0, 0, 0, 0, 0, 0, 0, byte(rng.Intn(9)), 0, 0, byte(rng.Intn(250)), byte(rng.Intn(250))})
+		} else {
+			addr = netip.AddrFrom4([4]byte{203, 0, byte(113 + rng.Intn(5)), byte(rng.Intn(250))})
+		}
+		obs = append(obs, alias.Observation{Addr: addr, ID: id})
+	}
+	obs = append(obs, obs[0], obs[len(obs)/2]) // duplicates must collapse
+	return obs
+}
+
+// setsEqual asserts byte-identical canonical alias sets.
+func setsEqual(t *testing.T, want, got []alias.Set, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d sets, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Key() != got[i].Key() {
+			t.Fatalf("%s: set %d = %q, want %q", label, i, got[i].Signature(), want[i].Signature())
+		}
+	}
+}
+
+// TestGroupBackendsMatchSortReference is the cross-layer determinism gate
+// for the merge-as-you-go rewrite: on the same corpus, the retired
+// global-sort implementation (alias.GroupSorted) and every backend's Group —
+// batch's pooled arena, streaming's online buckets, sharded at worker counts
+// 1, 2, and 7 — must produce byte-identical alias sets, across two seeds.
+// Run under -race this also exercises the sharded fold's concurrency.
+func TestGroupBackendsMatchSortReference(t *testing.T) {
+	for _, seed := range []uint64{5, 91} {
+		obs := determinismCorpus(seed, 5000)
+		want := alias.GroupSorted(obs)
+
+		setsEqual(t, want, NewBatch().Group(obs), fmt.Sprintf("seed %d: batch", seed))
+		setsEqual(t, want, Streaming{}.Group(obs), fmt.Sprintf("seed %d: streaming", seed))
+		for _, workers := range []int{1, 2, 7} {
+			got := Sharded{Workers: workers}.Group(obs)
+			setsEqual(t, want, got, fmt.Sprintf("seed %d: sharded workers=%d", seed, workers))
+		}
+	}
+}
+
+// TestMergeBackendsAgreeOnGroupedCorpus closes the loop: the partitions the
+// new group core emits must merge identically through every backend.
+func TestMergeBackendsAgreeOnGroupedCorpus(t *testing.T) {
+	obs := determinismCorpus(13, 3000)
+	half := len(obs) / 2
+	a, b := alias.Group(obs[:half]), alias.Group(obs[half:])
+	want := NewBatch().Merge(a, b)
+	setsEqual(t, want, Streaming{}.Merge(a, b), "streaming merge")
+	for _, workers := range []int{1, 2, 7} {
+		got := Sharded{Workers: workers}.Merge(a, b)
+		setsEqual(t, want, got, fmt.Sprintf("sharded merge workers=%d", workers))
+	}
+}
+
+// TestBatchGroupPoolReuse hammers one Batch instance from concurrent
+// goroutines: pooled arenas must never leak state between calls (run under
+// -race this is also the pool's concurrency proof).
+func TestBatchGroupPoolReuse(t *testing.T) {
+	b := NewBatch()
+	obs := determinismCorpus(29, 2000)
+	want := alias.GroupSorted(obs)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 20; i++ {
+				setsEqual(t, want, b.Group(obs), "concurrent pooled group")
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}

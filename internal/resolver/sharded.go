@@ -37,28 +37,48 @@ func (s Sharded) workers() int {
 }
 
 // Group implements Backend by partitioning observations across the
-// identifier space and grouping every shard concurrently.
+// identifier space and folding every shard through its own merge-as-you-go
+// grouping arena concurrently. Observations are routed by a one-pass shard
+// index — the per-shard observation slices the old implementation
+// materialised are gone, as is the global (id, addr) sort inside each shard:
+// every worker streams the observations assigned to it straight into an
+// alias.Grouper.
 func (s Sharded) Group(obs []alias.Observation) []alias.Set {
 	w := s.workers()
 	if w <= 1 || len(obs) < 2 {
 		return alias.Group(obs)
 	}
-	shards := make([][]alias.Observation, w)
-	for _, o := range obs {
-		i := int(xrand.Hash64(o.ID.Digest) % uint64(w))
-		shards[i] = append(shards[i], o)
+	if w > 256 {
+		w = 256 // route entries are one byte; 256 shards saturate any host
+	}
+	// Route pass: one byte per observation instead of w grown slices. A
+	// group never straddles shards because the route key is the identifier.
+	route := make([]uint8, len(obs))
+	for i, o := range obs {
+		route[i] = uint8(xrand.Hash64(o.ID.Digest) % uint64(w))
 	}
 	partials := make([][]alias.Set, w)
 	var wg sync.WaitGroup
-	for i := range shards {
+	for i := 0; i < w; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			partials[i] = alias.Group(shards[i])
+			var g alias.Grouper
+			mine := uint8(i)
+			for j, o := range obs {
+				if route[j] == mine {
+					g.Observe(o)
+				}
+			}
+			partials[i] = g.Sets()
 		}(i)
 	}
 	wg.Wait()
-	var out []alias.Set
+	total := 0
+	for _, p := range partials {
+		total += len(p)
+	}
+	out := make([]alias.Set, 0, total)
 	for _, p := range partials {
 		out = append(out, p...)
 	}

@@ -45,22 +45,23 @@ func (Streaming) Merge(groups ...[]alias.Set) []alias.Set {
 func (Streaming) NewSink() *Sink { return NewSink() }
 
 // Stream maintains identifier groups online: every Observe call lands the
-// observation in its identifier's set immediately, so alias sets exist the
-// moment the scan finishes — no post-hoc grouping pass. The handle is
+// observation in its identifier's sorted bucket immediately (the same
+// merge-as-you-go alias.Grouper core the batch and sharded backends fold
+// through), so alias sets exist the moment the scan finishes — no post-hoc
+// grouping pass, no per-snapshot sort of bucket contents. The handle is
 // session-safe: Observe may be called concurrently from any number of
 // goroutines (scan worker pools and daemon ingest workers feed it directly),
 // and Sets/Len may run concurrently with Observe — they snapshot the
 // observations applied so far, which is exactly the point-in-time view a
 // long-running resolution service hands to queries arriving mid-ingest.
 type Stream struct {
-	mu     sync.Mutex
-	ids    map[ident.Identifier]int32
-	groups []map[netip.Addr]struct{}
+	mu sync.Mutex
+	g  alias.Grouper
 }
 
 // NewStream returns an empty online grouping stream.
 func NewStream() *Stream {
-	return &Stream{ids: make(map[ident.Identifier]int32)}
+	return &Stream{}
 }
 
 // Observe lands one observation in its identifier's set, creating the set on
@@ -68,20 +69,14 @@ func NewStream() *Stream {
 func (s *Stream) Observe(o alias.Observation) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	gi, ok := s.ids[o.ID]
-	if !ok {
-		gi = int32(len(s.groups))
-		s.ids[o.ID] = gi
-		s.groups = append(s.groups, make(map[netip.Addr]struct{}))
-	}
-	s.groups[gi][o.Addr] = struct{}{}
+	s.g.Observe(o)
 }
 
 // Len returns the number of distinct identifiers observed so far.
 func (s *Stream) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.groups)
+	return s.g.Len()
 }
 
 // Sets snapshots the stream into canonical alias sets — byte-identical to
@@ -91,17 +86,7 @@ func (s *Stream) Len() int {
 func (s *Stream) Sets() []alias.Set {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]alias.Set, 0, len(s.groups))
-	for _, g := range s.groups {
-		addrs := make([]netip.Addr, 0, len(g))
-		for a := range g {
-			addrs = append(addrs, a)
-		}
-		slices.SortFunc(addrs, netip.Addr.Compare)
-		out = append(out, alias.Set{Addrs: addrs})
-	}
-	alias.SortSets(out)
-	return out
+	return s.g.Sets()
 }
 
 // MergeStream is an incremental union-find over addresses: it absorbs alias

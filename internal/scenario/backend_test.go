@@ -116,3 +116,39 @@ func TestLongitudinalBackendEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestMegascaleBackendEquivalence pins the zero-alloc rewrite's byte-identity
+// guarantee on the throughput presets: megascale and megascale-x10 (scaled
+// down to CI-sized worlds — the preset's knobs, not its full scale) must
+// produce identical alias-set digests across the batch, streaming, and
+// sharded backends.
+func TestMegascaleBackendEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		preset string
+		scale  float64
+	}{
+		{"megascale", 0.06},
+		{"megascale-x10", 0.1},
+	} {
+		var ref *Result
+		for _, backend := range BackendNames() {
+			res, err := Run(tc.preset, Options{
+				Seed: 1, Scale: tc.scale, Workers: 16, Backend: backend,
+			})
+			if err != nil {
+				t.Fatalf("%s backend=%s: %v", tc.preset, backend, err)
+			}
+			if res.SetsDigest == "" {
+				t.Fatalf("%s backend=%s: empty sets digest", tc.preset, backend)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if res.SetsDigest != ref.SetsDigest {
+				t.Errorf("%s: backend %s alias sets diverge from %s (digest %s vs %s)",
+					tc.preset, backend, ref.Backend, res.SetsDigest, ref.SetsDigest)
+			}
+		}
+	}
+}

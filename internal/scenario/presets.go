@@ -144,6 +144,12 @@ var presets = []Preset{
 		Scale:      1.0,
 		QuickScale: 0.3,
 	},
+	{
+		Name:       "megascale-x10",
+		Summary:    "ten times the calibrated scale — the zero-alloc hot-path workout (arena grouping, dense topo, stack-only draws)",
+		Scale:      10.0,
+		QuickScale: 0.5,
+	},
 }
 
 // Presets returns the catalog in canonical order. The slice is shared; do

@@ -3,7 +3,6 @@ package topo
 import (
 	"fmt"
 	"net/netip"
-	"sort"
 
 	"aliaslimit/internal/bgp"
 	"aliaslimit/internal/netsim"
@@ -105,39 +104,6 @@ func (w *World) ApplyEpochChurn(spec EpochChurn, epoch int) EpochChurnStats {
 	return st
 }
 
-// sortedTruthDevices returns the device IDs present in any ground-truth map,
-// sorted — the canonical iteration order for churn candidate enumeration.
-func (w *World) sortedTruthDevices() []string {
-	seen := make(map[string]bool)
-	var ids []string
-	for _, m := range []map[string][]netip.Addr{w.Truth.SSHAddrs, w.Truth.BGPAddrs, w.Truth.SNMPAddrs} {
-		for id := range m {
-			if !seen[id] {
-				seen[id] = true
-				ids = append(ids, id)
-			}
-		}
-	}
-	sort.Strings(ids)
-	return ids
-}
-
-// truthAddrs returns the device's distinct ground-truth addresses in
-// first-appearance order across the SSH, BGP, SNMP lists.
-func (w *World) truthAddrs(id string) []netip.Addr {
-	var out []netip.Addr
-	seen := make(map[netip.Addr]bool)
-	for _, m := range []map[string][]netip.Addr{w.Truth.SSHAddrs, w.Truth.BGPAddrs, w.Truth.SNMPAddrs} {
-		for _, a := range m[id] {
-			if !seen[a] {
-				seen[a] = true
-				out = append(out, a)
-			}
-		}
-	}
-	return out
-}
-
 // removeTruth drops addr from the device's list in m without creating empty
 // entries for devices the map never knew.
 func removeTruth(m map[string][]netip.Addr, id string, addr netip.Addr) {
@@ -165,6 +131,14 @@ func (w *World) downWires(frac float64, ek string, skip map[netip.Addr]bool) int
 		return 0
 	}
 	n := 0
+	// One streaming hasher per phase: the (seed, operation, epoch) prefix is
+	// hashed once, then copied per draw — bit-identical to the historical
+	// Prob(fmt.Sprint(seed), "wire-down", ek, id, a.String()) keys, with zero
+	// per-draw allocations.
+	prefix := xrand.NewHasher()
+	prefix.KeyUint(w.Cfg.Seed)
+	prefix.Key("wire-down")
+	prefix.Key(ek)
 	for _, id := range w.sortedTruthDevices() {
 		addrs := w.truthAddrs(id)
 		if len(addrs) < 2 {
@@ -180,7 +154,10 @@ func (w *World) downWires(frac float64, ek string, skip map[netip.Addr]bool) int
 			if skip[a] {
 				continue
 			}
-			if xrand.Prob(fmt.Sprint(w.Cfg.Seed), "wire-down", ek, id, a.String()) >= frac {
+			k := prefix
+			k.Key(id)
+			k.KeyAddr(a)
+			if k.Prob() >= frac {
 				continue
 			}
 			if w.Fabric.Lookup(a) != d {
@@ -212,8 +189,15 @@ func (w *World) restoreWires(frac float64, ek string) (int, map[netip.Addr]bool)
 	n := 0
 	restored := make(map[netip.Addr]bool)
 	kept := w.darkWires[:0]
+	prefix := xrand.NewHasher()
+	prefix.KeyUint(w.Cfg.Seed)
+	prefix.Key("wire-up")
+	prefix.Key(ek)
 	for _, rec := range w.darkWires {
-		up := xrand.Prob(fmt.Sprint(w.Cfg.Seed), "wire-up", ek, rec.deviceID, rec.addr.String()) < frac
+		k := prefix
+		k.Key(rec.deviceID)
+		k.KeyAddr(rec.addr)
+		up := k.Prob() < frac
 		// An address churned to a replacement device while dark stays with
 		// its new owner; the old wire record is then obsolete.
 		if conflict := w.Fabric.Lookup(rec.addr); conflict != nil {
@@ -249,6 +233,10 @@ func (w *World) restoreWires(frac float64, ek string) (int, map[netip.Addr]bool)
 // false merge a naive cumulative union of epochs commits.
 func (w *World) renumberInterfaces(frac float64, epoch int, ek string) int {
 	n := 0
+	prefix := xrand.NewHasher()
+	prefix.KeyUint(w.Cfg.Seed)
+	prefix.Key("epoch-renum")
+	prefix.Key(ek)
 	for _, id := range w.sortedTruthDevices() {
 		addrs := w.Truth.SSHAddrs[id]
 		if len(addrs) < 2 {
@@ -260,7 +248,10 @@ func (w *World) renumberInterfaces(frac float64, epoch int, ek string) int {
 		}
 		// Walk a snapshot: the loop edits the truth list it reads.
 		for _, a := range append([]netip.Addr(nil), addrs[1:]...) {
-			if xrand.Prob(fmt.Sprint(w.Cfg.Seed), "epoch-renum", ek, id, a.String()) >= frac {
+			k := prefix
+			k.Key(id)
+			k.KeyAddr(a)
+			if k.Prob() >= frac {
 				continue
 			}
 			if w.Fabric.Lookup(a) != d {
@@ -293,8 +284,14 @@ func (w *World) rebootDevices(frac float64, ek string) int {
 	}
 	n := 0
 	g := &generator{w: w, cfg: w.Cfg}
+	prefix := xrand.NewHasher()
+	prefix.KeyUint(w.Cfg.Seed)
+	prefix.Key("reboot")
+	prefix.Key(ek)
 	for _, id := range w.sortedTruthDevices() {
-		if xrand.Prob(fmt.Sprint(w.Cfg.Seed), "reboot", ek, id) >= frac {
+		k := prefix
+		k.Key(id)
+		if k.Prob() >= frac {
 			continue
 		}
 		d := w.Fabric.Device(id)

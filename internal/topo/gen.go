@@ -370,6 +370,7 @@ func (g *generator) replacementServer(id string, addr netip.Addr) error {
 	sp := g.planSSH(id, false, []netip.Addr{addr})
 	d.SetService(22, g.buildSSHServer(sp, g.hostKey(sp.persona.keyLabel)))
 	g.w.Truth.SSHAddrs[d.ID()] = d.ServiceAddrs(22)
+	g.w.registerTruthDevice(d.ID())
 	return nil
 }
 

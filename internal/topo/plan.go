@@ -234,12 +234,15 @@ func (g *generator) commit() error {
 		g.assignPTRNames(d, p.kind, p.as)
 		if p.ssh != nil {
 			g.w.Truth.SSHAddrs[d.ID()] = d.ServiceAddrs(22)
+			g.w.registerTruthDevice(d.ID())
 		}
 		if p.snmp != nil {
 			g.w.Truth.SNMPAddrs[d.ID()] = d.UDPServiceAddrs(snmpv3.Port)
+			g.w.registerTruthDevice(d.ID())
 		}
 		if p.bgp != nil && p.bgpTruth {
 			g.w.Truth.BGPAddrs[d.ID()] = d.ServiceAddrs(179)
+			g.w.registerTruthDevice(d.ID())
 			// Remembered so epoch-boundary reboots can re-key the speaker.
 			g.w.bgpSpeakers[d.ID()] = p.bgp.cfg
 		}

@@ -91,6 +91,18 @@ type World struct {
 	darkWires []darkWire
 	decoyAS   *AS
 
+	// truthIndex is the grow-only device index behind sortedTruthDevices:
+	// every device ID that ever entered a ground-truth map, in sorted order
+	// once truthDirty is cleared. Truth-map entries are never deleted (churn
+	// empties lists but keeps keys), so maintaining the index at registration
+	// time replaces the per-churn-phase map-union-and-sort rebuild with a
+	// lazy re-sort only after new devices appear.
+	truthIndex []string
+	truthSeen  map[string]struct{}
+	truthDirty bool
+	// truthScratch is the reusable dedup buffer behind truthAddrs.
+	truthScratch []netip.Addr
+
 	// bgpSpeakers remembers every identifiable speaker's OPEN personality so
 	// an epoch-boundary reboot can re-key it — same AS, same addresses, same
 	// peering behavior, fresh router ID and capability presentation —
@@ -167,7 +179,14 @@ func (w *World) bind(d *netsim.Device, deviceAS *AS) error {
 func (w *World) ApplyChurn(frac float64, round int) int {
 	n := 0
 	for _, c := range w.churnable {
-		if xrand.Prob(c.deviceID, "churn", fmt.Sprint(round)) >= frac {
+		// Historical key shape: (deviceID, "churn", round) — no seed prefix.
+		// The streaming hasher reproduces it without the per-record
+		// fmt.Sprint allocation.
+		k := xrand.NewHasher()
+		k.Key(c.deviceID)
+		k.Key("churn")
+		k.KeyInt(int64(round))
+		if k.Prob() >= frac {
 			continue
 		}
 		old := w.Fabric.Device(c.deviceID)
@@ -187,6 +206,54 @@ func (w *World) ApplyChurn(frac float64, round int) int {
 		n++
 	}
 	return n
+}
+
+// registerTruthDevice enters a device ID into the churn enumeration index.
+// Every site that creates a new ground-truth map key must call it; repeated
+// registrations are free. Sorting is deferred to the next sortedTruthDevices
+// call, so bulk registration during Build costs one sort total.
+func (w *World) registerTruthDevice(id string) {
+	if w.truthSeen == nil {
+		w.truthSeen = make(map[string]struct{})
+	}
+	if _, ok := w.truthSeen[id]; ok {
+		return
+	}
+	w.truthSeen[id] = struct{}{}
+	w.truthIndex = append(w.truthIndex, id)
+	w.truthDirty = true
+}
+
+// sortedTruthDevices returns the device IDs present in any ground-truth map,
+// sorted — the canonical iteration order for churn candidate enumeration.
+// The returned slice is the maintained index itself: valid until the next
+// registration, not to be retained or mutated by callers. Devices registered
+// while a caller is still ranging over a previous return value are appended
+// past its length, so they join the next enumeration — exactly the snapshot
+// semantics the old per-phase rebuild had.
+func (w *World) sortedTruthDevices() []string {
+	if w.truthDirty {
+		sort.Strings(w.truthIndex)
+		w.truthDirty = false
+	}
+	return w.truthIndex
+}
+
+// truthAddrs returns the device's distinct ground-truth addresses in
+// first-appearance order across the SSH, BGP, SNMP lists. The result lives
+// in a reusable scratch buffer: valid until the next call, never retained.
+func (w *World) truthAddrs(id string) []netip.Addr {
+	out := w.truthScratch[:0]
+	for _, m := range [3]map[string][]netip.Addr{w.Truth.SSHAddrs, w.Truth.BGPAddrs, w.Truth.SNMPAddrs} {
+		for _, a := range m[id] {
+			// Alias sets are small; a linear dedup scan beats a fresh map.
+			if !containsAddr(out, a) {
+				out = append(out, a)
+			}
+		}
+	}
+	w.truthScratch = out
+	return out
 }
 
 // removeAddr drops addr from list, preserving order.

@@ -16,6 +16,7 @@ package xrand
 import (
 	"encoding/binary"
 	"math"
+	"net/netip"
 )
 
 // SplitMix64 is a tiny, fast, well-distributed PRNG. It is the generator
@@ -165,4 +166,110 @@ func Zipf(s float64, max int, keys ...string) int {
 		k = max
 	}
 	return k
+}
+
+// Hasher is the allocation-free streaming form of the keyed draws: feed it
+// the same keys you would pass to Hash64/Prob — one Key* call per key — and
+// Sum64/Prob return bit-identical values, without materialising any of the
+// key strings. The megascale churn and fault paths use it to keep their
+// per-entity draws byte-identical to the historical fmt.Sprint-built keys
+// while performing zero allocations (the alloc benchmarks enforce this).
+//
+// The value is plain data: copy it freely to fork a common prefix, e.g. hash
+// the (seed, operation, epoch) prefix once and reuse it per entity.
+type Hasher struct {
+	h uint64
+}
+
+// NewHasher returns a hasher with no keys written.
+func NewHasher() Hasher { return Hasher{h: fnvOffset} }
+
+// sep closes one key, exactly as Hash64 separates adjacent keys.
+func (k *Hasher) sep() {
+	k.h ^= 0xff
+	k.h *= fnvPrime
+}
+
+// Key feeds one string key, equivalent to one element of Hash64's key list.
+func (k *Hasher) Key(s string) {
+	h := k.h
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	k.h = h
+	k.sep()
+}
+
+// KeyBytes feeds one key given as raw bytes.
+func (k *Hasher) KeyBytes(b []byte) {
+	h := k.h
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	k.h = h
+	k.sep()
+}
+
+// KeyUint feeds one unsigned integer key as its decimal digits — the bytes
+// fmt.Sprint(v) would produce — so call sites migrating from
+// Prob(fmt.Sprint(v), ...) keep their historical draw values.
+func (k *Hasher) KeyUint(v uint64) {
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	k.KeyBytes(buf[i:])
+}
+
+// KeyInt feeds one signed integer key as its decimal digits.
+func (k *Hasher) KeyInt(v int64) {
+	if v < 0 {
+		k.h ^= uint64('-')
+		k.h *= fnvPrime
+		// Continue into the digits of the magnitude without a separator:
+		// the key is the whole "-123" string.
+		var buf [20]byte
+		i := len(buf)
+		u := uint64(-v)
+		for {
+			i--
+			buf[i] = byte('0' + u%10)
+			u /= 10
+			if u == 0 {
+				break
+			}
+		}
+		k.KeyBytes(buf[i:])
+		return
+	}
+	k.KeyUint(uint64(v))
+}
+
+// KeyAddr feeds one address key as its canonical text form — the bytes
+// addr.String() would produce — staying allocation-free via a stack buffer.
+func (k *Hasher) KeyAddr(a netip.Addr) {
+	var buf [48]byte
+	k.KeyBytes(a.AppendTo(buf[:0]))
+}
+
+// Sum64 finalises the hash with Hash64's avalanche. The hasher may keep
+// accepting keys afterwards; Sum64 does not mutate it.
+func (k Hasher) Sum64() uint64 {
+	h := (k.h ^ (k.h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// Prob returns the stable pseudo-random value in [0, 1) for the keys fed so
+// far — bit-identical to Prob over the same key strings.
+func (k Hasher) Prob() float64 {
+	return float64(k.Sum64()>>11) / (1 << 53)
 }
