@@ -11,8 +11,10 @@ import (
 
 	"aliaslimit"
 	"aliaslimit/internal/alias"
+	"aliaslimit/internal/atomicio"
 	"aliaslimit/internal/ident"
 	"aliaslimit/internal/netsim"
+	"aliaslimit/internal/obslog"
 	"aliaslimit/internal/resolver"
 	"aliaslimit/internal/xrand"
 )
@@ -174,6 +176,45 @@ func writeBenchJSON(path string, scale float64, seed uint64, workers, parallelis
 		}),
 	)
 
+	// Durability hot paths: the per-observation log append (alloc-gated — it
+	// sits on the collection path of every durable run) and a full one-epoch
+	// replay from disk (the resume path's per-epoch cost).
+	logDir, err := os.MkdirTemp("", "benchtables-obslog-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(logDir)
+	lw, err := obslog.Create(logDir, obslog.RunMeta{Scenario: "bench", Seed: seed, Scale: scale, Epochs: 1},
+		obslog.Options{Sync: obslog.SyncNever})
+	if err != nil {
+		return err
+	}
+	defer lw.Close()
+	logObs := env.Both.Obs[ident.SSH]
+	logSink := lw.Sink(obslog.SourceActive)
+	logNext := 0
+	rep.Results = append(rep.Results,
+		measureAlloc("obslog_append", func() {
+			logSink.Observe(ident.SSH, logObs[logNext%len(logObs)])
+			logNext++
+		}),
+	)
+	for _, p := range ident.Protocols {
+		for _, o := range env.Both.Obs[p] {
+			lw.Sink(obslog.SourceActive).Observe(p, o)
+		}
+	}
+	if err := lw.CompleteEpoch(0, "", 0); err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results,
+		measure("obslog_replay", func() {
+			if _, err := obslog.Replay(logDir, 0); err != nil {
+				panic(err)
+			}
+		}),
+	)
+
 	rep.Results = append(rep.Results,
 		measure("grouping_union_ssh", func() { alias.Group(env.Both.Obs[ident.SSH]) }),
 		measure("merge_union_v4", func() {
@@ -225,7 +266,9 @@ func writeBenchJSON(path string, scale float64, seed uint64, workers, parallelis
 		_, err = stdout.Write(data)
 		return err
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	// Temp file + rename: a crash mid-write must not leave a truncated report
+	// where the previous gate baseline stood.
+	if err := atomicio.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
 	fmt.Fprintf(stderr, "benchtables: wrote %d measurements to %s\n", len(rep.Results), path)

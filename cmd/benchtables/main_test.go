@@ -50,6 +50,7 @@ func TestRunBenchJSON(t *testing.T) {
 	want := map[string]bool{
 		"run_full": false, "render_all_cold": false, "render_all_warm": false,
 		"grouping_union_ssh": false, "merge_union_v4": false,
+		"obslog_append": false, "obslog_replay": false,
 		"table3_render": false, "figure6_render": false,
 		"resolve_batch_group": false, "resolve_batch_merge": false,
 		"resolve_streaming_group": false, "resolve_streaming_merge": false,

@@ -11,6 +11,9 @@
 //	scenarios -run all -quick -backend all   # every preset on every resolver
 //	                                         # backend; byte-identical alias
 //	                                         # sets enforced
+//	scenarios -run churn-storm -epochs 5 -log RUN  # durable: observation log +
+//	                                         # per-epoch checkpoints under RUN/
+//	scenarios -resume RUN                    # continue a killed durable run
 //	scenarios -run baseline -sweep loss=1,5,10,20,30 -json SWEEP-loss.json
 //	scenarios -run churn-storm -sweep decay=30,50,70,90 -json SWEEP-decay.json
 //	scenarios -merge 'SCENARIOS-*.json' -json SCENARIOS.json
@@ -37,6 +40,7 @@ import (
 	"strings"
 	"time"
 
+	"aliaslimit/internal/atomicio"
 	"aliaslimit/internal/scenario"
 )
 
@@ -71,6 +75,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	epochs := fs.Int("epochs", 1, "snapshot rounds per scenario; >1 runs the longitudinal pipeline")
 	decay := fs.Float64("decay", 0, "decay factor for the longitudinal decay-weighted merge (0 = default 0.5)")
 	backend := fs.String("backend", "", "resolver backend: batch|streaming|sharded (default batch), or 'all' to run every backend and require byte-identical alias sets")
+	logDir := fs.String("log", "", "write a durable observation log + epoch checkpoints under this directory (single preset, single backend); a killed run continues with -resume")
+	resume := fs.String("resume", "", "continue the killed durable run whose log lives under this directory")
 	sweep := fs.String("sweep", "", "axis sweep, e.g. loss=1,5,10,20,30 (percent) or epochs=2,3,5; runs the -run preset per value")
 	jsonPath := fs.String("json", "", "write the machine-readable report to this path (- for stdout)")
 	merge := fs.String("merge", "", "merge existing report files matching this glob instead of running")
@@ -96,6 +102,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Workers:     *workers,
 		Parallelism: *parallelism,
 		Backend:     *backend,
+		LogDir:      *logDir,
+	}
+	if *logDir != "" {
+		// A durable log records exactly one run: multi-run modes would
+		// interleave several runs' observations in one directory.
+		switch {
+		case *resume != "":
+			return fmt.Errorf("-log starts a fresh durable run; -resume continues one — pick one")
+		case *merge != "" || *sweep != "":
+			return fmt.Errorf("-log records a single run; it cannot combine with -merge or -sweep")
+		case *backend == "all":
+			return fmt.Errorf("-log records a single run; pick one backend of %s",
+				strings.Join(scenario.BackendNames(), "|"))
+		case *runName == "all":
+			return fmt.Errorf("-log records a single run; pick one preset of %s",
+				strings.Join(scenario.Names(), ", "))
+		}
 	}
 	backends := []string{*backend}
 	if *backend == "all" {
@@ -104,6 +127,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	switch {
 	case *list:
 		return printCatalog(stdout)
+	case *resume != "":
+		if *runName != "" || *merge != "" || *sweep != "" {
+			return fmt.Errorf("-resume takes the run's identity from its manifest; it cannot combine with -run, -merge, or -sweep")
+		}
+		return resumeLongitudinal(*resume, opts, *jsonPath, stdout, stderr)
 	case *merge != "":
 		return mergeReports(*merge, *jsonPath, stdout, stderr)
 	case *sweep != "":
@@ -264,6 +292,26 @@ func runLongitudinal(name string, opts scenario.LongitudinalOptions, backends []
 	return writeReport(rep, jsonPath, stdout, stderr)
 }
 
+// resumeLongitudinal continues a killed durable run from its log directory.
+// The run's identity (preset, seed, scale, backend, epochs, decay) comes from
+// the log's manifest; only execution knobs (workers, parallelism) come from
+// the command line.
+func resumeLongitudinal(dir string, opts scenario.Options, jsonPath string, stdout, stderr io.Writer) error {
+	start := time.Now()
+	res, err := scenario.ResumeLongitudinal(dir, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "scenarios: resumed %s x%d epochs (%s) from %s in %v\n",
+		res.Scenario, len(res.Epochs), res.Backend, dir, time.Since(start).Round(time.Millisecond))
+	if jsonPath == "" {
+		fmt.Fprintln(stdout, res.RenderText())
+		return nil
+	}
+	rep := &scenario.Report{Longitudinal: []*scenario.LongitudinalResult{res}}
+	return writeReport(rep, jsonPath, stdout, stderr)
+}
+
 // divergence renders an actionable cross-backend mismatch: both backends,
 // both full digests, and — when the per-partition breakdowns are available —
 // the first partition whose alias sets differ, so a CI failure says where to
@@ -365,13 +413,15 @@ func writeReport(rep *scenario.Report, path string, stdout, stderr io.Writer) er
 }
 
 // writeJSON emits report bytes to path ("-" for stdout), logging what was
-// written to stderr.
+// written to stderr. File writes go through a temp file and an atomic rename,
+// so a crash or full disk mid-write never leaves a truncated report where a
+// previous good one stood.
 func writeJSON(data []byte, path, what string, stdout, stderr io.Writer) error {
 	if path == "-" {
 		_, err := stdout.Write(data)
 		return err
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := atomicio.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
 	fmt.Fprintf(stderr, "scenarios: wrote %s (%s)\n", path, what)

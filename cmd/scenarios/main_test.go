@@ -438,3 +438,168 @@ func TestBadArguments(t *testing.T) {
 		t.Fatalf("-h: want flag.ErrHelp, got %v", err)
 	}
 }
+
+// TestLogResumeCLI drives the durable-run flags end to end: a full logged run
+// and a -resume of its (already complete) log directory must emit the exact
+// same report bytes, every epoch replayed from disk through the digest gates.
+func TestLogResumeCLI(t *testing.T) {
+	dir := t.TempDir()
+	logDir := filepath.Join(dir, "RUN")
+	refPath := filepath.Join(dir, "REF.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-run", "churn-storm", "-epochs", "2", "-scale", "0.05",
+		"-workers", "32", "-log", logDir, "-json", refPath}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("logged run: %v (stderr: %s)", err, stderr.String())
+	}
+	for _, f := range []string{"MANIFEST.json", "ssh.obslog", "bgp.obslog", "snmpv3.obslog",
+		filepath.Join("epochs", "epoch-0000.json"), filepath.Join("epochs", "epoch-0001.json")} {
+		if _, err := os.Stat(filepath.Join(logDir, f)); err != nil {
+			t.Errorf("durable run left no %s: %v", f, err)
+		}
+	}
+
+	resumedPath := filepath.Join(dir, "RESUMED.json")
+	stdout.Reset()
+	stderr.Reset()
+	err = run([]string{"-resume", logDir, "-json", resumedPath}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("resume: %v (stderr: %s)", err, stderr.String())
+	}
+	ref, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := os.ReadFile(resumedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref, resumed) {
+		t.Errorf("resumed report differs from the original run's:\n%s\n---\n%s", ref, resumed)
+	}
+}
+
+// TestLogResumeFlagCombos pins the single-run contract of the durable flags:
+// a log records exactly one run, and -resume takes its identity from the
+// manifest, so every multi-run or conflicting combination is rejected before
+// any world is built.
+func TestLogResumeFlagCombos(t *testing.T) {
+	dir := t.TempDir()
+	for _, args := range [][]string{
+		{"-run", "all", "-quick", "-log", filepath.Join(dir, "a")},
+		{"-run", "baseline", "-quick", "-backend", "all", "-log", filepath.Join(dir, "b")},
+		{"-run", "baseline", "-quick", "-sweep", "loss=1,5", "-log", filepath.Join(dir, "c")},
+		{"-merge", "x*.json", "-log", filepath.Join(dir, "d")},
+		{"-run", "baseline", "-quick", "-log", filepath.Join(dir, "e"), "-resume", filepath.Join(dir, "e")},
+		{"-resume", filepath.Join(dir, "f"), "-run", "baseline"},
+		{"-resume", filepath.Join(dir, "g"), "-sweep", "loss=1,5"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("args %v accepted, want rejection", args)
+		}
+	}
+	// A -resume of a directory with no log fails cleanly too.
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-resume", filepath.Join(dir, "nothing-here")}, &stdout, &stderr); err == nil {
+		t.Error("-resume of a directory without a log accepted")
+	}
+}
+
+// TestWriteJSONAtomic pins the report writer's crash contract: a failed write
+// must leave no partial file and no temp debris — the write goes through a
+// temp file and a rename, never through the destination path directly.
+func TestWriteJSONAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	var stdout, stderr bytes.Buffer
+	if err := writeJSON([]byte("{\"ok\":true}\n"), path, "test", &stdout, &stderr); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "{\"ok\":true}\n" {
+		t.Fatalf("wrote %q, %v", data, err)
+	}
+
+	// Block the destination with a non-empty directory: the final rename
+	// fails, and the failure must leave the directory intact and no
+	// temp files behind.
+	blocked := filepath.Join(dir, "blocked.json")
+	if err := os.MkdirAll(filepath.Join(blocked, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJSON([]byte("{}\n"), blocked, "test", &stdout, &stderr); err == nil {
+		t.Fatal("writeJSON over a non-empty directory succeeded")
+	}
+	if _, err := os.Stat(filepath.Join(blocked, "sub")); err != nil {
+		t.Errorf("failed write destroyed the obstruction: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "out.json" && e.Name() != "blocked.json" {
+			t.Errorf("failed write left debris %q", e.Name())
+		}
+	}
+}
+
+// TestCICrashResumeJob pins the CI kill-and-resume gate: the workflow must
+// run the harness script, which builds a real binary, SIGKILLs the durable
+// run mid-flight, resumes it, and diffs every sets digest against the
+// uninterrupted reference.
+func TestCICrashResumeJob(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", ".github", "workflows", "ci.yml"))
+	if err != nil {
+		t.Skipf("ci.yml not readable: %v", err)
+	}
+	text := string(data)
+	idx := strings.Index(text, "crash-resume:")
+	if idx < 0 {
+		t.Fatal("ci.yml has no crash-resume job")
+	}
+	job := text[idx:]
+	for _, want := range []string{"scripts/crash-resume.sh", "RESUMED.json", "MANIFEST.json"} {
+		if !strings.Contains(job, want) {
+			t.Errorf("crash-resume job missing %q", want)
+		}
+	}
+	script, err := os.ReadFile(filepath.Join("..", "..", "scripts", "crash-resume.sh"))
+	if err != nil {
+		t.Fatalf("crash-resume job's script missing: %v", err)
+	}
+	for _, want := range []string{
+		"go build -o", "-run churn-storm -epochs 5 -quick",
+		"-log", "kill -9", "-resume", "sets_digest", "diff",
+	} {
+		if !strings.Contains(string(script), want) {
+			t.Errorf("crash-resume.sh missing %q", want)
+		}
+	}
+}
+
+// TestCILogDiffJob pins the CI byte-determinism gate: two independent durable
+// runs, every log shard and the manifest compared byte for byte, the log
+// uploaded as an artifact.
+func TestCILogDiffJob(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", ".github", "workflows", "ci.yml"))
+	if err != nil {
+		t.Skipf("ci.yml not readable: %v", err)
+	}
+	text := string(data)
+	idx := strings.Index(text, "log-diff:")
+	if idx < 0 {
+		t.Fatal("ci.yml has no log-diff job")
+	}
+	job := text[idx:]
+	for _, want := range []string{
+		"-run baseline -quick -log LOG-a", "-run baseline -quick -log LOG-b",
+		"cmp", "ssh.obslog", "bgp.obslog", "snmpv3.obslog", "MANIFEST.json",
+		"upload-artifact",
+	} {
+		if !strings.Contains(job, want) {
+			t.Errorf("log-diff job missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package atomicio provides crash-safe file replacement: write the new
+// contents to a temporary file in the destination directory, fsync it, then
+// rename it over the target. A reader (or a process restarted after a crash)
+// therefore only ever sees the old bytes or the new bytes, never a partial
+// write — the property the observation-log manifest and the CLI report
+// writers rely on.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data. On any error the original
+// file (if one existed) is left untouched and the temporary file is removed.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	tmp := f.Name()
+	// Any failure past this point must not leave the temp file behind.
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	return nil
+}

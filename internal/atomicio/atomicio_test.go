@@ -1,0 +1,70 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndOverwrites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "first" {
+		t.Fatalf("got %q, want %q", got, "first")
+	}
+	if err := WriteFile(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Fatalf("got %q, want %q", got, "second")
+	}
+	// No temp debris may survive a successful write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries after write, want just the target", len(entries))
+	}
+}
+
+// TestWriteFileFailureLeavesTargetUntouched pins the crash-safety contract:
+// a failed replacement must neither clobber the existing target nor leave a
+// temp file behind. The failure is forced with a target that is a directory
+// (rename cannot replace it), which fails even when running as root — unlike
+// permission-based setups.
+func TestWriteFileFailureLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "report")
+	if err := os.Mkdir(target, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(target, []byte("data"), 0o644); err == nil {
+		t.Fatal("expected an error renaming over a directory")
+	}
+	st, err := os.Stat(target)
+	if err != nil || !st.IsDir() {
+		t.Fatalf("target was clobbered: %v %v", st, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind after failure", e.Name())
+		}
+	}
+}
+
+// TestWriteFileMissingDirFailsCleanly covers the temp-creation error path.
+func TestWriteFileMissingDirFailsCleanly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope", "out.json")
+	if err := WriteFile(path, []byte("data"), 0o644); err == nil {
+		t.Fatal("expected an error for a missing parent directory")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"aliaslimit/internal/netsim"
+	"aliaslimit/internal/obslog"
 	"aliaslimit/internal/resolver"
 	"aliaslimit/internal/topo"
 )
@@ -51,6 +52,19 @@ type Options struct {
 	// collection, so the union dataset's alias sets are already grouped
 	// when the scans return.
 	Backend resolver.Backend
+	// Log, when set, makes the run durable: both campaigns' scan sinks tee
+	// every observation into the log writer during collection, and each
+	// Advance ends by folding the epoch into its canonical on-disk segment
+	// and committing the checkpoint manifest (epoch index, churn draw
+	// state, per-shard offsets, and the digest below).
+	Log *obslog.Writer
+	// EpochDigest, consulted only when Log is set, produces the running
+	// sets digest recorded in the epoch's checkpoint — and is the hook on
+	// which callers hang their own per-epoch durable bookkeeping (the
+	// scenario layer persists its epoch scorecard here): whatever it writes
+	// is on disk before the manifest commits the epoch. Nil records an
+	// empty digest.
+	EpochDigest func(*Epoch) (string, error)
 }
 
 // BuildEnv generates a world and measures it from both vantage points in

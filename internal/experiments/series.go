@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"aliaslimit/internal/ident"
+	"aliaslimit/internal/obslog"
 	"aliaslimit/internal/resolver"
 	"aliaslimit/internal/topo"
 )
@@ -125,6 +126,12 @@ func (s *EnvSeries) Advance() (*Epoch, error) {
 		activeOpts.Sink = TeeSink(activeSink, unionSink)
 		censysOpts.Sink = TeeSink(censysSink, unionSink)
 	}
+	if lg := s.opts.Log; lg != nil {
+		// Durable runs additionally tee every observation into the log,
+		// campaign-tagged so replay can rebuild the asymmetric dataset split.
+		activeOpts.Sink = TeeSink(activeOpts.Sink, lg.Sink(obslog.SourceActive))
+		censysOpts.Sink = TeeSink(censysOpts.Sink, lg.Sink(obslog.SourceCensys))
+	}
 
 	var stats EpochStats
 	stats.Epoch = e
@@ -164,5 +171,49 @@ func (s *EnvSeries) Advance() (*Epoch, error) {
 			env.Both.preGroup(p, unionSink.Sets(p))
 		}
 	}
-	return &Epoch{Env: env, Stats: stats, Truth: w.Truth.Snapshot()}, nil
+	ep := &Epoch{Env: env, Stats: stats, Truth: w.Truth.Snapshot()}
+	if lg := s.opts.Log; lg != nil {
+		digest := ""
+		if s.opts.EpochDigest != nil {
+			d, err := s.opts.EpochDigest(ep)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: epoch %d digest: %w", e, err)
+			}
+			digest = d
+		}
+		if err := lg.CompleteEpoch(e, digest, w.ChurnDrawState()); err != nil {
+			return nil, fmt.Errorf("experiments: epoch %d checkpoint: %w", e, err)
+		}
+	}
+	return ep, nil
+}
+
+// SkipEpoch replays one epoch's world mutations — the boundary churn, the
+// clock gaps, and the intra-epoch churn — without running any scans. The
+// crash-resume path uses it to march a freshly built world through the
+// epochs the observation log already holds: churn draws are hash-keyed on
+// (seed, operation, epoch, entity), so the skipped epochs mutate the world
+// exactly as the original run did, which World.ChurnDrawState verifies
+// against the checkpoint manifest. Only the clock-advancing analyses of the
+// skipped epochs (the MIDAR probe rounds) are not replayed; they never
+// touch churn state or identifiers, so subsequent live epochs reproduce the
+// original sets digests bit for bit.
+func (s *EnvSeries) SkipEpoch() (EpochStats, error) {
+	e := s.next
+	if e >= s.opts.Epochs {
+		return EpochStats{}, fmt.Errorf("experiments: series exhausted after %d epochs", s.opts.Epochs)
+	}
+	s.next++
+	w := s.World
+	var stats EpochStats
+	stats.Epoch = e
+	if e > 0 {
+		w.Clock.Advance(s.opts.EpochGap)
+		stats.EpochChurnStats = w.ApplyEpochChurn(s.opts.EpochChurn, e)
+	}
+	w.Clock.Advance(s.opts.SnapshotGap)
+	if s.opts.ChurnFraction > 0 {
+		stats.IntraChurned = w.ApplyChurn(s.opts.ChurnFraction, 2*e+1)
+	}
+	return stats, nil
 }

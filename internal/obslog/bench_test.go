@@ -1,0 +1,74 @@
+package obslog
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"aliaslimit/internal/alias"
+	"aliaslimit/internal/ident"
+)
+
+// benchObs builds a corpus of distinct observations shaped like real scan
+// yield (hex digests, mixed families).
+func benchObs(n int) []alias.Observation {
+	out := make([]alias.Observation, n)
+	for i := range out {
+		var addr netip.Addr
+		if i%4 == 3 {
+			addr = netip.AddrFrom16([16]byte{0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, byte(i >> 16), byte(i >> 8), byte(i), 1})
+		} else {
+			addr = netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)})
+		}
+		out[i] = alias.Observation{
+			Addr: addr,
+			ID:   ident.Identifier{Proto: ident.SSH, Digest: fmt.Sprintf("%064x", i*2654435761)},
+		}
+	}
+	return out
+}
+
+// BenchmarkObslogAppend measures the hot collection-path cost of teeing one
+// observation into the log (buffered append plus amortised spill flushes).
+// The bench-smoke CI job runs it; the benchjson obslog_append entry gates
+// its allocation count.
+func BenchmarkObslogAppend(b *testing.B) {
+	dir := b.TempDir()
+	w, err := Create(dir, testMeta, Options{Sync: SyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	corpus := benchObs(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Observe(SourceActive, ident.SSH, corpus[i%len(corpus)])
+	}
+}
+
+// BenchmarkObslogReplay measures rebuilding one committed epoch from disk.
+func BenchmarkObslogReplay(b *testing.B) {
+	dir := b.TempDir()
+	w, err := Create(dir, testMeta, Options{Sync: SyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, o := range benchObs(4096) {
+		w.Observe(SourceActive, ident.SSH, o)
+		w.Observe(SourceCensys, ident.BGP, alias.Observation{Addr: o.Addr, ID: ident.Identifier{Proto: ident.BGP, Digest: o.ID.Digest}})
+		w.Observe(SourceActive, ident.SNMP, alias.Observation{Addr: o.Addr, ID: ident.Identifier{Proto: ident.SNMP, Digest: o.ID.Digest}})
+	}
+	if err := w.CompleteEpoch(0, "", 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Replay(dir, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

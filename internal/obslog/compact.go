@@ -1,0 +1,98 @@
+package obslog
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"aliaslimit/internal/atomicio"
+	"aliaslimit/internal/ident"
+)
+
+// CompactStats summarises one compaction pass.
+type CompactStats struct {
+	// BytesBefore and BytesAfter total the shard sizes around the pass.
+	BytesBefore int64 `json:"bytes_before"`
+	// BytesAfter totals the shard sizes after the pass.
+	BytesAfter int64 `json:"bytes_after"`
+	// Dropped counts folded (superseded) observation records.
+	Dropped int `json:"dropped"`
+}
+
+// Compact folds superseded observations out of a closed log directory: a
+// record is superseded when a later committed epoch re-observed the same
+// (source, address) on the same shard — the newest identifier is what the
+// device presents now, so the final epoch replays identically before and
+// after compaction. Earlier epochs become partial (their superseded records
+// are gone), which is the point: compaction trades full history for a
+// bounded log once a run has been scored.
+//
+// Each shard is rewritten atomically and the manifest's per-epoch offsets
+// are updated to the compacted layout. Compact must not run concurrently
+// with a Writer on the same directory, and it drops any uncommitted tail
+// beyond the manifest's last epoch (a Resume would have dropped it anyway).
+func Compact(dir string) (CompactStats, error) {
+	man, err := ReadManifest(dir)
+	if err != nil {
+		return CompactStats{}, err
+	}
+	var stats CompactStats
+	newOffsets := make([]map[string]int64, man.EpochsDone)
+	for i := range newOffsets {
+		newOffsets[i] = make(map[string]int64, numShards)
+	}
+	for _, p := range ident.Protocols {
+		path := filepath.Join(dir, shardName(p))
+		epochs, err := readShardEpochs(path, p)
+		if err != nil {
+			return CompactStats{}, err
+		}
+		if len(epochs) < man.EpochsDone {
+			return CompactStats{}, fmt.Errorf("obslog: %s shard holds %d complete epochs, manifest committed %d",
+				protoKey(p), len(epochs), man.EpochsDone)
+		}
+		epochs = epochs[:man.EpochsDone]
+
+		// Latest epoch that observed each (source, address) on this shard.
+		type key struct {
+			src  Source
+			addr string
+		}
+		latest := make(map[key]int)
+		for e, recs := range epochs {
+			for _, r := range recs {
+				latest[key{r.src, r.addr.String()}] = e
+			}
+		}
+
+		buf := appendFrame(nil, headerPayload(p))
+		var payload []byte
+		if man.EpochsDone > 0 {
+			stats.BytesBefore += man.Epochs[man.EpochsDone-1].Offsets[protoKey(p)]
+		} else {
+			stats.BytesBefore += int64(len(buf))
+		}
+		for e, recs := range epochs {
+			for _, r := range recs {
+				if latest[key{r.src, r.addr.String()}] != e {
+					stats.Dropped++
+					continue
+				}
+				payload = appendObsPayload(payload[:0], r)
+				buf = appendFrame(buf, payload)
+			}
+			buf = appendFrame(buf, markPayload(e))
+			newOffsets[e][protoKey(p)] = int64(len(buf))
+		}
+		if err := atomicio.WriteFile(path, buf, 0o644); err != nil {
+			return CompactStats{}, err
+		}
+		stats.BytesAfter += int64(len(buf))
+	}
+	for e := range man.Epochs {
+		man.Epochs[e].Offsets = newOffsets[e]
+	}
+	if err := man.write(dir); err != nil {
+		return CompactStats{}, err
+	}
+	return stats, nil
+}

@@ -1,0 +1,445 @@
+package obslog
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"aliaslimit/internal/alias"
+	"aliaslimit/internal/ident"
+)
+
+// obs builds a test observation.
+func obs(p ident.Protocol, addr, digest string) alias.Observation {
+	return alias.Observation{
+		Addr: netip.MustParseAddr(addr),
+		ID:   ident.Identifier{Proto: p, Digest: digest},
+	}
+}
+
+// testMeta is a minimal run description for writer tests.
+var testMeta = RunMeta{Scenario: "test", Seed: 1, Scale: 0.05, Epochs: 3}
+
+// canonical sorts and dedups an observation slice the way an epoch fold
+// does, for comparing replays against inputs.
+func canonical(in []alias.Observation) []alias.Observation {
+	out := append([]alias.Observation(nil), in...)
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Addr.Compare(out[j].Addr); c != 0 {
+			return c < 0
+		}
+		if out[i].ID.Proto != out[j].ID.Proto {
+			return out[i].ID.Proto < out[j].ID.Proto
+		}
+		return out[i].ID.Digest < out[j].ID.Digest
+	})
+	dedup := out[:0]
+	for i, o := range out {
+		if i > 0 && o == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, o)
+	}
+	return dedup
+}
+
+func TestRoundTripWithSpill(t *testing.T) {
+	dir := t.TempDir()
+	// SpillThreshold 2 forces the overflow path on every third arrival.
+	w, err := Create(dir, testMeta, Options{SpillThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs := [][]struct {
+		src Source
+		o   alias.Observation
+	}{
+		{
+			{SourceActive, obs(ident.SSH, "10.0.0.1", "d1")},
+			{SourceActive, obs(ident.SSH, "10.0.0.2", "d2")},
+			{SourceCensys, obs(ident.SSH, "10.0.0.1", "d1")},
+			{SourceActive, obs(ident.SSH, "10.0.0.1", "d1")}, // exact duplicate, folded away
+			{SourceActive, obs(ident.BGP, "2001:db8::1", "d3")},
+			{SourceActive, obs(ident.SNMP, "10.0.0.3", "d4")},
+		},
+		{
+			{SourceActive, obs(ident.SSH, "10.0.0.5", "d5")},
+			{SourceCensys, obs(ident.BGP, "10.0.0.6", "d6")},
+			{SourceActive, obs(ident.SNMP, "2001:db8::2", "d7")},
+		},
+	}
+	for e, batch := range epochs {
+		for _, b := range batch {
+			w.Observe(b.src, b.o.ID.Proto, b.o)
+		}
+		if err := w.CompleteEpoch(e, fmt.Sprintf("digest-%d", e), uint64(100+e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Spill files must not survive Close.
+	for _, p := range ident.Protocols {
+		if _, err := os.Stat(filepath.Join(dir, spillName(p))); !os.IsNotExist(err) {
+			t.Fatalf("spill file %s survived Close", spillName(p))
+		}
+	}
+	if n, err := Epochs(dir); err != nil || n != 2 {
+		t.Fatalf("Epochs = %d, %v; want 2", n, err)
+	}
+	for e, batch := range epochs {
+		snap, err := Replay(dir, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range ident.Protocols {
+			var wantActive, wantCensys []alias.Observation
+			for _, b := range batch {
+				if b.o.ID.Proto != p {
+					continue
+				}
+				if b.src == SourceCensys {
+					wantCensys = append(wantCensys, b.o)
+				} else {
+					wantActive = append(wantActive, b.o)
+				}
+			}
+			for _, cmp := range []struct {
+				name      string
+				got, want []alias.Observation
+			}{
+				{"active", snap.Active[p], canonical(wantActive)},
+				{"censys", snap.Censys[p], canonical(wantCensys)},
+			} {
+				got := canonical(cmp.got)
+				if len(got) == 0 && len(cmp.want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, cmp.want) {
+					t.Errorf("epoch %d %s %s: got %v, want %v", e, p, cmp.name, got, cmp.want)
+				}
+			}
+		}
+	}
+	man, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.EpochsDone != 2 || man.Epochs[1].SetsDigest != "digest-1" || man.Epochs[1].DrawState != 101 {
+		t.Fatalf("manifest mismatch: %+v", man)
+	}
+	for _, p := range ident.Protocols {
+		st, err := os.Stat(filepath.Join(dir, shardName(p)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := man.Epochs[1].Offsets[protoKey(p)]; got != st.Size() {
+			t.Errorf("%s offset %d, file size %d", protoKey(p), got, st.Size())
+		}
+	}
+}
+
+// TestLogBytesDeterministic pins the property the CI log-diff job asserts:
+// identical observations delivered in different arrival orders produce
+// byte-for-byte identical shard files and manifests.
+func TestLogBytesDeterministic(t *testing.T) {
+	batch := []struct {
+		src Source
+		o   alias.Observation
+	}{
+		{SourceActive, obs(ident.SSH, "10.0.0.1", "d1")},
+		{SourceCensys, obs(ident.SSH, "10.0.0.2", "d2")},
+		{SourceActive, obs(ident.BGP, "10.0.0.3", "d3")},
+		{SourceActive, obs(ident.SSH, "2001:db8::9", "d4")},
+		{SourceCensys, obs(ident.SNMP, "10.0.0.4", "d5")},
+		{SourceActive, obs(ident.SSH, "10.0.0.1", "d1")},
+	}
+	write := func(dir string, reversed bool) {
+		w, err := Create(dir, testMeta, Options{SpillThreshold: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := batch
+		if reversed {
+			order = make([]struct {
+				src Source
+				o   alias.Observation
+			}, len(batch))
+			for i, b := range batch {
+				order[len(batch)-1-i] = b
+			}
+		}
+		for _, b := range order {
+			w.Observe(b.src, b.o.ID.Proto, b.o)
+		}
+		if err := w.CompleteEpoch(0, "dg", 7); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	write(dirA, false)
+	write(dirB, true)
+	files := []string{manifestName}
+	for _, p := range ident.Protocols {
+		files = append(files, shardName(p))
+	}
+	for _, name := range files {
+		a, err := os.ReadFile(filepath.Join(dirA, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs between arrival orders", name)
+		}
+	}
+}
+
+// writeTwoEpochs populates a log with two committed epochs and returns its
+// directory.
+func writeTwoEpochs(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := Create(dir, testMeta, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 2; e++ {
+		for i := 0; i < 4; i++ {
+			a := fmt.Sprintf("10.%d.0.%d", e, i+1)
+			w.Observe(SourceActive, ident.SSH, obs(ident.SSH, a, fmt.Sprintf("ssh-%d-%d", e, i)))
+			w.Observe(SourceCensys, ident.BGP, obs(ident.BGP, a, fmt.Sprintf("bgp-%d-%d", e, i)))
+			w.Observe(SourceActive, ident.SNMP, obs(ident.SNMP, a, fmt.Sprintf("snmp-%d-%d", e, i)))
+		}
+		if err := w.CompleteEpoch(e, fmt.Sprintf("dg-%d", e), uint64(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestTruncatedTailDroppedCleanly(t *testing.T) {
+	dir := writeTwoEpochs(t)
+	path := filepath.Join(dir, shardName(ident.SSH))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the file mid-frame: everything after the cut, including epoch
+	// 1's marker, becomes unreadable — exactly a SIGKILL's torn tail.
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(dir, 0); err != nil {
+		t.Fatalf("epoch 0 must survive a torn tail: %v", err)
+	}
+	if _, err := Replay(dir, 1); err == nil {
+		t.Fatal("epoch 1 lost its marker to the torn tail; Replay must refuse it")
+	}
+	if n, err := Epochs(dir); err != nil || n != 1 {
+		t.Fatalf("Epochs = %d, %v; want 1", n, err)
+	}
+}
+
+func TestCorruptFrameDroppedCleanly(t *testing.T) {
+	dir := writeTwoEpochs(t)
+	path := filepath.Join(dir, shardName(ident.BGP))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside epoch 1's segment (past epoch 0's committed
+	// offset): its CRC fails and everything from it on is dropped.
+	pos := man.Epochs[0].Offsets["bgp"] + 10
+	data[pos] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(dir, 0); err != nil {
+		t.Fatalf("epoch 0 must survive later corruption: %v", err)
+	}
+	if _, err := Replay(dir, 1); err == nil {
+		t.Fatal("Replay accepted an epoch containing a corrupt frame")
+	}
+}
+
+func TestResumeTruncatesPartialEpoch(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, testMeta, Options{SpillThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Observe(SourceActive, ident.SSH, obs(ident.SSH, "10.0.0.1", "d1"))
+	w.Observe(SourceCensys, ident.BGP, obs(ident.BGP, "10.0.0.2", "d2"))
+	w.Observe(SourceActive, ident.SNMP, obs(ident.SNMP, "10.0.0.3", "d3"))
+	if err := w.CompleteEpoch(0, "dg-0", 5); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 1 in flight: some spilled, some in memory — then the process
+	// "dies" (no CompleteEpoch, no Close; spill files stay behind).
+	for i := 0; i < 5; i++ {
+		w.Observe(SourceActive, ident.SSH, obs(ident.SSH, fmt.Sprintf("10.1.0.%d", i+1), "dx"))
+	}
+
+	w2, man, err := Resume(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.EpochsDone != 1 {
+		t.Fatalf("resumed manifest claims %d epochs", man.EpochsDone)
+	}
+	// The partial epoch's arrivals are gone; a fresh epoch 1 commits.
+	w2.Observe(SourceActive, ident.SSH, obs(ident.SSH, "10.9.0.1", "fresh"))
+	if err := w2.CompleteEpoch(1, "dg-1", 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Replay(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Active[ident.SSH]) != 1 || snap.Active[ident.SSH][0].ID.Digest != "fresh" {
+		t.Fatalf("epoch 1 after resume = %v, want only the fresh record", snap.Active[ident.SSH])
+	}
+	// Replaying epoch 0 still works and matches the original commit.
+	if snap0, err := Replay(dir, 0); err != nil || len(snap0.Active[ident.SSH]) != 1 {
+		t.Fatalf("epoch 0 after resume: %v, %v", snap0, err)
+	}
+}
+
+func TestRollbackDiscardsCommittedEpoch(t *testing.T) {
+	dir := writeTwoEpochs(t)
+	w, man, err := Resume(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.EpochsDone != 2 {
+		t.Fatalf("EpochsDone = %d, want 2", man.EpochsDone)
+	}
+	if err := w.Rollback(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Manifest(); got.EpochsDone != 1 {
+		t.Fatalf("after rollback EpochsDone = %d, want 1", got.EpochsDone)
+	}
+	// The log can recommit epoch 1 from scratch.
+	w.Observe(SourceActive, ident.SSH, obs(ident.SSH, "10.8.0.1", "redo"))
+	if err := w.CompleteEpoch(1, "dg-redo", 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Replay(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Active[ident.SSH]) != 1 || snap.Active[ident.SSH][0].ID.Digest != "redo" {
+		t.Fatalf("recommitted epoch 1 = %v", snap.Active[ident.SSH])
+	}
+}
+
+func TestCreateRefusesExistingLog(t *testing.T) {
+	dir := writeTwoEpochs(t)
+	if _, err := Create(dir, testMeta, Options{}); err == nil {
+		t.Fatal("Create reused a directory that already holds a log")
+	}
+}
+
+func TestCompactFoldsSupersededKeepsFinalEpoch(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, testMeta, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10.0.0.1 is re-observed with a new digest every epoch (superseded
+	// twice); 10.0.0.2 appears only in epoch 0 (never superseded).
+	for e := 0; e < 3; e++ {
+		w.Observe(SourceActive, ident.SSH, obs(ident.SSH, "10.0.0.1", fmt.Sprintf("gen-%d", e)))
+		if e == 0 {
+			w.Observe(SourceActive, ident.SSH, obs(ident.SSH, "10.0.0.2", "stable"))
+		}
+		w.Observe(SourceActive, ident.BGP, obs(ident.BGP, "10.0.0.3", "b"))
+		w.Observe(SourceActive, ident.SNMP, obs(ident.SNMP, "10.0.0.4", "s"))
+		if err := w.CompleteEpoch(e, "", uint64(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := Replay(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Compact(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gen-0, gen-1, and epochs 0/1's copies of b and s fold away.
+	if stats.Dropped != 6 {
+		t.Fatalf("Dropped = %d, want 6", stats.Dropped)
+	}
+	if stats.BytesAfter >= stats.BytesBefore {
+		t.Fatalf("compaction grew the log: %d -> %d", stats.BytesBefore, stats.BytesAfter)
+	}
+	after, err := Replay(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("final epoch changed across compaction:\nbefore %+v\nafter  %+v", before, after)
+	}
+	// Epoch 0 keeps its never-superseded record but loses gen-0.
+	snap0, err := Replay(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap0.Active[ident.SSH]) != 1 || snap0.Active[ident.SSH][0].ID.Digest != "stable" {
+		t.Fatalf("compacted epoch 0 SSH = %v, want only the stable record", snap0.Active[ident.SSH])
+	}
+	// Offsets were rewritten consistently: resume still works.
+	w2, man, err := Resume(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.EpochsDone != 3 {
+		t.Fatalf("EpochsDone = %d after compaction", man.EpochsDone)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpochOutOfOrderRejected(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, testMeta, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.CompleteEpoch(1, "", 0); err == nil {
+		t.Fatal("CompleteEpoch accepted a skipped epoch index")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"aliaslimit/internal/evaluate"
 	"aliaslimit/internal/experiments"
 	"aliaslimit/internal/ident"
+	"aliaslimit/internal/obslog"
 	"aliaslimit/internal/resolver"
 	"aliaslimit/internal/topo"
 )
@@ -159,6 +160,46 @@ func RunLongitudinal(name string, opts LongitudinalOptions) (*LongitudinalResult
 // runLongitudinalPreset is RunLongitudinal over an already resolved (possibly
 // sweep-modified) preset.
 func runLongitudinalPreset(p Preset, opts LongitudinalOptions) (*LongitudinalResult, error) {
+	r, err := newLongRun(p, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer r.close()
+	for len(r.out.Epochs) < r.n {
+		if err := r.runEpoch(); err != nil {
+			return nil, err
+		}
+	}
+	return r.finish(), nil
+}
+
+// longRun is the in-flight state of a longitudinal run: the per-epoch loop
+// (runEpoch) and the cross-epoch tail (finish) are factored out of
+// runLongitudinalPreset so the crash-resume path can rebuild the state for
+// already-committed epochs from the observation log and then drive the very
+// same loop for the remaining live epochs.
+type longRun struct {
+	p      Preset
+	cfg    topo.Config
+	quick  bool
+	n      int
+	decay  float64
+	series *experiments.EnvSeries
+	log    *obslog.Writer
+	logDir string
+	out    *LongitudinalResult
+	views  []*epochView
+	// finalTruth is the ground truth at the last consumed epoch's scan time.
+	finalTruth *topo.Truth
+	// pending carries scorecards computed inside the epoch-checkpoint hook
+	// (so they are durable before the manifest commits) to runEpoch.
+	pending map[int]*EpochScore
+}
+
+// newLongRun validates options, builds the world series, and — for durable
+// runs — attaches the observation log: a fresh one when opts.LogDir names a
+// new directory, or resumeLog when the resume path already reopened one.
+func newLongRun(p Preset, opts LongitudinalOptions, resumeLog *obslog.Writer) (*longRun, error) {
 	name := p.Name
 	n := opts.Epochs
 	if n == 0 {
@@ -180,6 +221,56 @@ func runLongitudinalPreset(p Preset, opts LongitudinalOptions) (*LongitudinalRes
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", name, err)
 	}
+	r := &longRun{
+		p:       p,
+		cfg:     cfg,
+		quick:   quick,
+		n:       n,
+		decay:   decay,
+		logDir:  opts.LogDir,
+		pending: make(map[int]*EpochScore),
+		out: &LongitudinalResult{
+			Scenario: p.Name,
+			Summary:  p.Summary,
+			Seed:     cfg.Seed,
+			Scale:    cfg.Scale,
+			Quick:    quick,
+			Decay:    decay,
+			Backend:  eopts.Backend.Name(),
+		},
+	}
+	switch {
+	case resumeLog != nil:
+		r.log = resumeLog
+	case opts.LogDir != "":
+		lg, err := obslog.Create(opts.LogDir, obslog.RunMeta{
+			Scenario: p.Name,
+			Seed:     cfg.Seed,
+			Scale:    cfg.Scale,
+			Quick:    quick,
+			Backend:  eopts.Backend.Name(),
+			Epochs:   n,
+			Decay:    decay,
+		}, obslog.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", name, err)
+		}
+		r.log = lg
+	}
+	if r.log != nil {
+		eopts.Log = r.log
+		// The checkpoint hook runs between sealing an epoch and committing
+		// its manifest entry: the scorecard is scored and persisted here, so
+		// an epoch the manifest calls done always has its scorecard on disk.
+		eopts.EpochDigest = func(ep *experiments.Epoch) (string, error) {
+			es := r.buildEpochScore(ep)
+			if err := saveEpochScore(r.logDir, es); err != nil {
+				return "", err
+			}
+			r.pending[ep.Stats.Epoch] = es
+			return es.SetsDigest, nil
+		}
+	}
 	series, err := experiments.NewEnvSeries(experiments.SeriesOptions{
 		Options:    eopts,
 		Epochs:     n,
@@ -188,46 +279,63 @@ func runLongitudinalPreset(p Preset, opts LongitudinalOptions) (*LongitudinalRes
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", name, err)
 	}
+	r.series = series
+	return r, nil
+}
 
-	out := &LongitudinalResult{
-		Scenario: p.Name,
-		Summary:  p.Summary,
-		Seed:     cfg.Seed,
-		Scale:    cfg.Scale,
-		Quick:    quick,
-		Decay:    decay,
-		Backend:  eopts.Backend.Name(),
+// buildEpochScore scores one completed epoch against its truth snapshot.
+func (r *longRun) buildEpochScore(ep *experiments.Epoch) *EpochScore {
+	res := score(r.p, r.cfg, r.quick, ep.Env, ep.Truth)
+	return &EpochScore{
+		Epoch:        ep.Stats.Epoch,
+		Result:       *res,
+		Renumbered:   ep.Stats.Renumbered,
+		Rebooted:     ep.Stats.Rebooted,
+		WiresDown:    ep.Stats.WiresDown,
+		WiresUp:      ep.Stats.WiresUp,
+		IntraChurned: ep.Stats.IntraChurned,
 	}
-	views := make([]*epochView, 0, n)
-	var finalTruth *topo.Truth
-	for e := 0; e < n; e++ {
-		ep, err := series.Advance()
-		if err != nil {
-			return nil, fmt.Errorf("scenario %s epoch %d: %w", name, e, err)
-		}
-		res := score(p, cfg, quick, ep.Env, ep.Truth)
-		out.Epochs = append(out.Epochs, &EpochScore{
-			Epoch:        e,
-			Result:       *res,
-			Renumbered:   ep.Stats.Renumbered,
-			Rebooted:     ep.Stats.Rebooted,
-			WiresDown:    ep.Stats.WiresDown,
-			WiresUp:      ep.Stats.WiresUp,
-			IntraChurned: ep.Stats.IntraChurned,
-		})
-		views = append(views, newEpochView(ep.Env))
-		finalTruth = ep.Truth
-	}
+}
 
-	out.Persistence = persistence(views)
-	out.BaselineSets, out.Survival = survival(views)
-	owner := combinedOwner(finalTruth)
+// runEpoch advances the series one epoch and appends its scorecard and
+// analysis view. For durable runs the scorecard was already computed (and
+// persisted) by the checkpoint hook inside Advance.
+func (r *longRun) runEpoch() error {
+	e := len(r.out.Epochs)
+	ep, err := r.series.Advance()
+	if err != nil {
+		return fmt.Errorf("scenario %s epoch %d: %w", r.p.Name, e, err)
+	}
+	es := r.pending[e]
+	if es == nil {
+		es = r.buildEpochScore(ep)
+	}
+	delete(r.pending, e)
+	r.out.Epochs = append(r.out.Epochs, es)
+	r.views = append(r.views, newEpochView(ep.Env))
+	r.finalTruth = ep.Truth
+	return nil
+}
+
+// finish computes the cross-epoch metrics once every epoch is in.
+func (r *longRun) finish() *LongitudinalResult {
+	out := r.out
+	out.Persistence = persistence(r.views)
+	out.BaselineSets, out.Survival = survival(r.views)
+	owner := combinedOwner(r.finalTruth)
 	out.Merges = []*MergeScore{
-		scoreMerge("naive-union", naiveUnion(views), owner),
-		scoreMerge("decay-weighted", decayWeighted(views, decay), owner),
-		scoreMerge("incremental", incremental(views), owner),
+		scoreMerge("naive-union", naiveUnion(r.views), owner),
+		scoreMerge("decay-weighted", decayWeighted(r.views, r.decay), owner),
+		scoreMerge("incremental", incremental(r.views), owner),
 	}
-	return out, nil
+	return out
+}
+
+// close releases the observation log, if any.
+func (r *longRun) close() {
+	if r.log != nil {
+		r.log.Close()
+	}
 }
 
 // newEpochView captures the identifier maps and union partitions of one

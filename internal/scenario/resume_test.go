@@ -1,0 +1,199 @@
+package scenario
+
+import (
+	"net/netip"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"aliaslimit/internal/alias"
+	"aliaslimit/internal/ident"
+	"aliaslimit/internal/obslog"
+)
+
+// crashPreset is the longitudinal preset the crash-resume tests run: it has
+// every churn axis enabled, so the resume path must replay boundary
+// renumbering, reboots, wire flaps, and intra-epoch churn exactly.
+const crashPreset = "churn-storm"
+
+// crashOpts builds the tiny-world durable-run options for a log in dir.
+func crashOpts(dir string) LongitudinalOptions {
+	return LongitudinalOptions{Options: Options{Scale: 0.05, LogDir: dir}, Epochs: 3}
+}
+
+// stripMIDAR clears the one field resume legitimately cannot reproduce for
+// post-crash live epochs: skipped epochs skip the clock-advancing MIDAR probe
+// rounds, so the IPID tally of later epochs sees a different clock. Every
+// other field — alias sets, digests, scores, churn counts — must match.
+func stripMIDAR(es *EpochScore) *EpochScore {
+	c := *es
+	c.MIDAR = MIDARScore{}
+	return &c
+}
+
+// requireTailEqual compares everything after the per-epoch scorecards — the
+// cross-epoch metrics are pure functions of the epoch views, so they must be
+// bit-identical however the epochs were obtained.
+func requireTailEqual(t *testing.T, got, ref *LongitudinalResult) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Persistence, ref.Persistence) {
+		t.Error("persistence diverges from uninterrupted run")
+	}
+	if got.BaselineSets != ref.BaselineSets || !reflect.DeepEqual(got.Survival, ref.Survival) {
+		t.Error("survival curve diverges from uninterrupted run")
+	}
+	if !reflect.DeepEqual(got.Merges, ref.Merges) {
+		t.Error("merge scores diverge from uninterrupted run")
+	}
+}
+
+// TestLoggedRunMatchesUnlogged pins that attaching the observation log is
+// invisible to results: the durable run returns exactly what the in-RAM run
+// returns.
+func TestLoggedRunMatchesUnlogged(t *testing.T) {
+	p, ok := Lookup(crashPreset)
+	if !ok {
+		t.Fatal("preset missing")
+	}
+	unlogged, err := runLongitudinalPreset(p, LongitudinalOptions{Options: Options{Scale: 0.05}, Epochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logged, err := runLongitudinalPreset(p, crashOpts(filepath.Join(t.TempDir(), "log")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(logged, unlogged) {
+		t.Error("durable run diverges from in-RAM run")
+	}
+}
+
+// TestCrashResumeReproducesUninterrupted is the tentpole invariant in-process:
+// a run abandoned mid-epoch (two epochs committed, stray third-epoch
+// observations buffered, no clean shutdown) resumes into the exact digests of
+// an uninterrupted run.
+func TestCrashResumeReproducesUninterrupted(t *testing.T) {
+	p, ok := Lookup(crashPreset)
+	if !ok {
+		t.Fatal("preset missing")
+	}
+	base := t.TempDir()
+	ref, err := runLongitudinalPreset(p, crashOpts(filepath.Join(base, "ref")))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crashDir := filepath.Join(base, "crash")
+	r, err := newLongRun(p, crashOpts(crashDir), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 2; e++ {
+		if err := r.runEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate the kill landing mid-epoch-3: some observations already teed
+	// into the log's buffers, then the process dies — no fold, no Close.
+	sink := r.log.Sink(obslog.SourceActive)
+	sink.Observe(ident.SSH, alias.Observation{
+		Addr: netip.MustParseAddr("192.0.2.99"),
+		ID:   ident.Identifier{Proto: ident.SSH, Digest: strings.Repeat("ab", 32)},
+	})
+
+	got, err := ResumeLongitudinal(crashDir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Epochs) != len(ref.Epochs) {
+		t.Fatalf("resumed run has %d epochs, want %d", len(got.Epochs), len(ref.Epochs))
+	}
+	// Committed epochs come back verbatim from their durable scorecards.
+	for e := 0; e < 2; e++ {
+		if !reflect.DeepEqual(got.Epochs[e], ref.Epochs[e]) {
+			t.Errorf("replayed epoch %d scorecard diverges from uninterrupted run", e)
+		}
+	}
+	// The post-crash live epoch must reproduce everything but the MIDAR tally.
+	if got.Epochs[2].SetsDigest == "" || got.Epochs[2].SetsDigest != ref.Epochs[2].SetsDigest {
+		t.Errorf("final epoch sets digest %q, want %q", got.Epochs[2].SetsDigest, ref.Epochs[2].SetsDigest)
+	}
+	if !reflect.DeepEqual(stripMIDAR(got.Epochs[2]), stripMIDAR(ref.Epochs[2])) {
+		t.Error("final live epoch diverges from uninterrupted run beyond MIDAR")
+	}
+	requireTailEqual(t, got, ref)
+
+	// The crash directory is now a completed run: resuming it again replays
+	// every epoch from disk and returns the same result without any scans.
+	again, err := ResumeLongitudinal(crashDir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range again.Epochs {
+		if !reflect.DeepEqual(again.Epochs[e], got.Epochs[e]) {
+			t.Errorf("re-resumed epoch %d diverges from first resume", e)
+		}
+	}
+	requireTailEqual(t, again, got)
+}
+
+// TestResumeTornCheckpointRollsBack pins the scorecard gate: an epoch the
+// manifest calls committed but whose scorecard file is missing is rolled back
+// and re-run live, and the digests still match the uninterrupted run.
+func TestResumeTornCheckpointRollsBack(t *testing.T) {
+	p, ok := Lookup(crashPreset)
+	if !ok {
+		t.Fatal("preset missing")
+	}
+	base := t.TempDir()
+	ref, err := runLongitudinalPreset(p, crashOpts(filepath.Join(base, "ref")))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tornDir := filepath.Join(base, "torn")
+	r, err := newLongRun(p, crashOpts(tornDir), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 2; e++ {
+		if err := r.runEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Remove(epochScorePath(tornDir, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ResumeLongitudinal(tornDir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Epochs[0], ref.Epochs[0]) {
+		t.Error("replayed epoch 0 diverges from uninterrupted run")
+	}
+	for e := 1; e < 3; e++ {
+		if got.Epochs[e].SetsDigest != ref.Epochs[e].SetsDigest {
+			t.Errorf("re-run epoch %d sets digest diverges from uninterrupted run", e)
+		}
+		if !reflect.DeepEqual(stripMIDAR(got.Epochs[e]), stripMIDAR(ref.Epochs[e])) {
+			t.Errorf("re-run epoch %d diverges from uninterrupted run beyond MIDAR", e)
+		}
+	}
+	requireTailEqual(t, got, ref)
+}
+
+// TestResumeRejectsSingleRunLog pins that a durable single-snapshot run (Run
+// with LogDir) is not resumable as a longitudinal run.
+func TestResumeRejectsSingleRunLog(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "single")
+	if _, err := Run("baseline", Options{Scale: 0.05, LogDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ResumeLongitudinal(dir, Options{})
+	if err == nil || !strings.Contains(err.Error(), "not a longitudinal run") {
+		t.Fatalf("got %v, want not-a-longitudinal-run error", err)
+	}
+}

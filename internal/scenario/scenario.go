@@ -26,6 +26,7 @@ import (
 	"aliaslimit/internal/experiments"
 	"aliaslimit/internal/ident"
 	"aliaslimit/internal/midar"
+	"aliaslimit/internal/obslog"
 	"aliaslimit/internal/resolver"
 	"aliaslimit/internal/topo"
 )
@@ -46,6 +47,14 @@ type Options struct {
 	// strategy, which is exactly what the backend dimension of the scenario
 	// matrix compares.
 	Backend string
+	// LogDir, when set, makes the run durable: every observation is teed
+	// into the append-only binary log under this directory during
+	// collection, and every epoch boundary commits a checkpoint (manifest
+	// plus, for longitudinal runs, the epoch scorecard), so a killed
+	// longitudinal run can be continued with ResumeLongitudinal or
+	// `cmd/scenarios -resume`. One run per directory; the directory must
+	// not already hold a log.
+	LogDir string
 }
 
 // ProtocolScore is one protocol's ground-truth accuracy in one scenario.
@@ -228,6 +237,25 @@ func runPreset(p Preset, opts Options) (*Result, error) {
 	eopts, err := envOptions(p, cfg, opts)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", p.Name, err)
+	}
+	if opts.LogDir != "" {
+		lg, err := obslog.Create(opts.LogDir, obslog.RunMeta{
+			Scenario: p.Name,
+			Seed:     cfg.Seed,
+			Scale:    cfg.Scale,
+			Quick:    quick,
+			Backend:  eopts.Backend.Name(),
+			Epochs:   1,
+		}, obslog.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", p.Name, err)
+		}
+		defer lg.Close()
+		eopts.Log = lg
+		eopts.EpochDigest = func(ep *experiments.Epoch) (string, error) {
+			d, _ := DigestPartitions(ScoredPartitions(ep.Env))
+			return d, nil
+		}
 	}
 	env, err := experiments.BuildEnv(eopts)
 	if err != nil {

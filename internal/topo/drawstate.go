@@ -1,0 +1,57 @@
+package topo
+
+import (
+	"net/netip"
+
+	"aliaslimit/internal/xrand"
+)
+
+// ChurnDrawState fingerprints everything the epoch-churn draws depend on:
+// the world seed, the ground-truth populations in their sorted-device draw
+// order, and the dark-wire ledger. Two worlds with equal draw states make
+// identical churn decisions at every future epoch, so a crash-resumed run
+// that replays churn without re-scanning can verify — against the value the
+// checkpoint manifest recorded — that its world walked the exact mutation
+// history of the original run before trusting the log.
+//
+// The simulation clock is deliberately excluded: replayed epochs skip the
+// MIDAR probe rounds (which advance the clock but never mutate churn
+// state), so clocks legitimately differ between an original and a resumed
+// run while the draw-relevant state is identical.
+func (w *World) ChurnDrawState() uint64 {
+	k := xrand.NewHasher()
+	k.KeyUint(w.Cfg.Seed)
+	k.Key("churn-draw-state")
+	for _, id := range w.sortedTruthDevices() {
+		k.Key(id)
+		keyAddrList(&k, w.Truth.SSHAddrs[id])
+		keyAddrList(&k, w.Truth.BGPAddrs[id])
+		keyAddrList(&k, w.Truth.SNMPAddrs[id])
+	}
+	k.KeyInt(int64(len(w.darkWires)))
+	for _, dw := range w.darkWires {
+		k.Key(dw.deviceID)
+		k.KeyAddr(dw.addr)
+		var flags uint64
+		if dw.inSSH {
+			flags |= 1
+		}
+		if dw.inBGP {
+			flags |= 2
+		}
+		if dw.inSNMP {
+			flags |= 4
+		}
+		k.KeyUint(flags)
+	}
+	return k.Sum64()
+}
+
+// keyAddrList folds one truth address list (length-prefixed, in stored
+// order — the order the draws walk) into the hasher.
+func keyAddrList(k *xrand.Hasher, addrs []netip.Addr) {
+	k.KeyInt(int64(len(addrs)))
+	for _, a := range addrs {
+		k.KeyAddr(a)
+	}
+}

@@ -1,0 +1,62 @@
+package topo
+
+import "testing"
+
+// buildDrawStateWorld makes a tiny world for draw-state tests.
+func buildDrawStateWorld(t *testing.T) *World {
+	t.Helper()
+	cfg := Default()
+	cfg.Scale = 0.05
+	w, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestChurnDrawStateTracksChurnHistory pins the resume integrity gate: two
+// worlds that walked the same churn history agree on their draw state, and
+// any divergence in that history (or none at all versus some) changes it.
+func TestChurnDrawStateTracksChurnHistory(t *testing.T) {
+	a := buildDrawStateWorld(t)
+	b := buildDrawStateWorld(t)
+	if a.ChurnDrawState() != b.ChurnDrawState() {
+		t.Fatal("freshly built identical worlds disagree on draw state")
+	}
+	initial := a.ChurnDrawState()
+
+	spec := EpochChurn{Renumber: 0.3, Reboot: 0.2, WireDown: 0.2, WireUp: 0.5}
+	for e := 1; e <= 2; e++ {
+		sa := a.ApplyEpochChurn(spec, e)
+		sb := b.ApplyEpochChurn(spec, e)
+		if sa != sb {
+			t.Fatalf("epoch %d churn diverged between identical worlds: %+v vs %+v", e, sa, sb)
+		}
+		a.ApplyChurn(0.02, 2*e+1)
+		b.ApplyChurn(0.02, 2*e+1)
+		if a.ChurnDrawState() != b.ChurnDrawState() {
+			t.Fatalf("draw state diverged after identical epoch %d churn", e)
+		}
+	}
+	if a.ChurnDrawState() == initial {
+		t.Fatal("two epochs of churn left the draw state unchanged")
+	}
+
+	// A world whose history differs (one extra churn pass) must not match.
+	c := buildDrawStateWorld(t)
+	c.ApplyEpochChurn(spec, 1)
+	if c.ChurnDrawState() == a.ChurnDrawState() {
+		t.Fatal("worlds with different churn histories share a draw state")
+	}
+}
+
+// TestChurnDrawStateClockIndependent pins that advancing the simulation
+// clock alone (what skipped MIDAR rounds change) never moves the draw state.
+func TestChurnDrawStateClockIndependent(t *testing.T) {
+	w := buildDrawStateWorld(t)
+	before := w.ChurnDrawState()
+	w.Clock.Advance(1000000000000) // ~16 minutes of nanoseconds; any amount works
+	if w.ChurnDrawState() != before {
+		t.Fatal("draw state depends on the clock")
+	}
+}

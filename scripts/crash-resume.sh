@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Kill-and-resume harness for the durable observation log.
+#
+# Runs the churn-storm longitudinal preset three ways:
+#   1. REF: uninterrupted, recording every epoch's sets digest.
+#   2. KILLED: the same run with -log, SIGKILLed mid-epoch-3 (no clean
+#      shutdown, buffered observations lost, report never written).
+#   3. RESUMED: `scenarios -resume` over the killed run's log directory.
+#
+# The gate: every per-epoch sets digest of the resumed run must equal the
+# uninterrupted run's. A single divergent digest — torn frame replayed, churn
+# draw replay drift, partial epoch not rolled back — fails the script.
+#
+# Set CRASH_RESUME_DIR to keep the work directory (CI uploads it as an
+# artifact); otherwise a temp directory is used and cleaned up.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ -n "${CRASH_RESUME_DIR:-}" ]; then
+    workdir=$CRASH_RESUME_DIR
+    mkdir -p "$workdir"
+else
+    workdir=$(mktemp -d)
+    trap 'rm -rf "$workdir"' EXIT
+fi
+
+# A real binary, not `go run`: the SIGKILL must hit the scenario process
+# itself, not a toolchain wrapper that leaves the child running.
+bin=$workdir/scenarios-bin
+go build -o "$bin" ./cmd/scenarios
+
+echo "crash-resume: reference run (uninterrupted)"
+"$bin" -run churn-storm -epochs 5 -quick -json "$workdir/REF.json"
+
+logdir=$workdir/RUN
+echo "crash-resume: durable run (to be killed)"
+"$bin" -run churn-storm -epochs 5 -quick -log "$logdir" -json "$workdir/KILLED.json" &
+pid=$!
+
+# Wait until the manifest says two epochs committed, then give epoch 3 a
+# moment to get observations in flight and kill without warning.
+manifest=$logdir/MANIFEST.json
+committed=0
+for _ in $(seq 1 600); do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "crash-resume: run exited before the kill landed" >&2
+        exit 1
+    fi
+    if [ -f "$manifest" ]; then
+        committed=$(grep -o '"epochs_done": *[0-9]*' "$manifest" | grep -o '[0-9]*$' || echo 0)
+        [ "${committed:-0}" -ge 2 ] && break
+    fi
+    sleep 0.2
+done
+if [ "${committed:-0}" -lt 2 ]; then
+    echo "crash-resume: no epoch committed within the poll window" >&2
+    exit 1
+fi
+sleep 0.3
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+echo "crash-resume: killed pid $pid with $committed epochs committed"
+
+if [ -e "$workdir/KILLED.json" ]; then
+    echo "crash-resume: run finished before the kill landed; raise -epochs" >&2
+    exit 1
+fi
+
+echo "crash-resume: resuming from $logdir"
+"$bin" -resume "$logdir" -json "$workdir/RESUMED.json"
+
+# Every epoch's sets digest — replayed and post-kill live alike — must match
+# the uninterrupted run exactly.
+grep -o '"sets_digest": *"[^"]*"' "$workdir/REF.json" >"$workdir/ref.digests"
+grep -o '"sets_digest": *"[^"]*"' "$workdir/RESUMED.json" >"$workdir/resumed.digests"
+if ! diff -u "$workdir/ref.digests" "$workdir/resumed.digests"; then
+    echo "crash-resume: resumed digests diverge from the uninterrupted run" >&2
+    exit 1
+fi
+n=$(wc -l <"$workdir/ref.digests")
+echo "crash-resume: OK — $n sets digests identical after kill -9 and resume"
