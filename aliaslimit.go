@@ -19,15 +19,20 @@
 //
 // Quick start:
 //
-//	study, err := aliaslimit.Run(aliaslimit.Options{Scale: 0.1})
+//	study, err := aliaslimit.Run(aliaslimit.StudyOptions{
+//		Common: aliaslimit.Common{Scale: 0.1},
+//	})
 //	if err != nil { ... }
+//	defer study.Close()
 //	fmt.Println(study.RenderTable("Table 3"))
 package aliaslimit
 
 import (
 	"fmt"
+	"io"
 	"net/netip"
 	"strings"
+	"sync"
 
 	"aliaslimit/internal/alias"
 	"aliaslimit/internal/experiments"
@@ -63,39 +68,73 @@ func (p Protocol) toIdent() (ident.Protocol, error) {
 	}
 }
 
-// Options configure a study run.
-type Options struct {
-	// Seed makes the run reproducible; 0 picks 1.
+// Unified options surface. Every run-shaped entry point — Run, RunScenario,
+// RunLongitudinal, RunScenarioSweep — shares one set of knobs, embedded as
+// Common in the entry point's options struct, so the same field means the
+// same thing everywhere and a new knob (a backend, a shard count) lands in
+// every entry point at once.
+
+// Common holds the options shared by every facade entry point.
+type Common struct {
+	// Seed makes the run reproducible; 0 picks each entry point's default.
 	Seed uint64
 	// Scale sizes the synthetic Internet. 1.0 ≈ 1:1000 of the paper's
-	// measurement (~60k addresses); 0 picks 0.25.
+	// measurement (~60k addresses); 0 picks the entry point's default
+	// (0.25 for Run, the preset's own scale for scenarios).
 	Scale float64
+	// Backend names the alias-resolution strategy every analysis view
+	// routes through: "batch" (default), "streaming" (observations consumed
+	// online while the scans are in flight), "sharded" (identifier-space
+	// partitioning across cores), or "distributed" (identifier-space
+	// partitioning across worker processes; the invoking binary must be
+	// worker-capable — see RunShardWorkerIfRequested). All backends produce
+	// byte-identical alias sets; see BackendNames.
+	Backend string
+	// ShardWorkers sizes the partitioned backends: goroutines for
+	// "sharded" (0 picks GOMAXPROCS), worker processes for "distributed"
+	// (0 picks 2). The unpartitioned backends ignore it.
+	ShardWorkers int
 	// Workers bounds scan concurrency; 0 picks 256.
 	Workers int
 	// Parallelism bounds how many per-protocol sweeps run concurrently
 	// during collection; 0 overlaps all protocols, 1 recovers the
 	// sequential baseline. Results are byte-identical at any setting.
 	Parallelism int
+	// LogDir, when non-empty, makes scenario runs durable: a
+	// crash-resumable observation log plus per-epoch checkpoints under this
+	// directory. Run does not support durable logging and rejects a
+	// non-empty LogDir.
+	LogDir string
+}
+
+// StudyOptions configure Run.
+type StudyOptions struct {
+	Common
 	// ChurnFraction is the share of dynamic addresses reassigned between
 	// the Censys snapshot and the active scan; 0 picks 2%, negative
 	// disables churn.
 	ChurnFraction float64
-	// Backend names the alias-resolution strategy every analysis view
-	// routes through: "batch" (default), "streaming" (observations consumed
-	// online while the scans are in flight), or "sharded" (identifier-space
-	// partitioning across cores). All backends produce byte-identical alias
-	// sets; see BackendNames.
-	Backend string
 }
+
+// Options is the pre-consolidation name for StudyOptions.
+//
+// Deprecated: use StudyOptions. The alias is kept for one release.
+type Options = StudyOptions
 
 // Study is a completed measurement: world, datasets, and analyses.
 type Study struct {
-	env *experiments.Env
+	env     *experiments.Env
+	backend resolver.Backend
+	closed  sync.Once
 }
 
 // Run builds the world, performs both measurement campaigns, and returns
-// the study.
-func Run(opts Options) (*Study, error) {
+// the study. Callers that select the "distributed" backend (or any future
+// backend holding external resources) should Close the study when done.
+func Run(opts StudyOptions) (*Study, error) {
+	if opts.LogDir != "" {
+		return nil, fmt.Errorf("aliaslimit: Run does not support durable logs; use RunScenario or RunLongitudinal with LogDir")
+	}
 	cfg := topo.Default()
 	if opts.Seed != 0 {
 		cfg.Seed = opts.Seed
@@ -105,7 +144,7 @@ func Run(opts Options) (*Study, error) {
 	} else {
 		cfg.Scale = 0.25
 	}
-	backend, err := resolver.New(opts.Backend, 0)
+	backend, err := resolver.New(opts.Backend, opts.ShardWorkers)
 	if err != nil {
 		return nil, fmt.Errorf("aliaslimit: %w", err)
 	}
@@ -120,9 +159,36 @@ func Run(opts Options) (*Study, error) {
 		Backend:       backend,
 	})
 	if err != nil {
+		closeBackend(backend)
 		return nil, err
 	}
-	return &Study{env: env}, nil
+	return &Study{env: env, backend: backend}, nil
+}
+
+// Close releases the study's resolver resources: its open sessions and,
+// for backends that hold external resources (the "distributed" worker
+// processes), the backend itself. The in-process backends make it a no-op.
+// Safe to call more than once; the analysis views stay readable because
+// every view is memoized on first use.
+func (s *Study) Close() error {
+	var first error
+	s.closed.Do(func() {
+		if s.env != nil {
+			first = s.env.Close()
+		}
+		if err := closeBackend(s.backend); err != nil && first == nil {
+			first = err
+		}
+	})
+	return first
+}
+
+// closeBackend releases a backend's external resources when it holds any.
+func closeBackend(b resolver.Backend) error {
+	if c, ok := b.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // BackendNames lists the pluggable resolver backends in canonical order.
@@ -297,17 +363,14 @@ type Stats struct {
 // limiting, shared-key farms, disabled SNMP, hostile IPID policies, churn
 // storms, IPv6-dominant and full-scale populations) that each run the
 // identical collect→resolve→validate pipeline and score it against the
-// simulator's ground truth. The types are aliases of internal/scenario so
-// callers get the full structured result.
+// simulator's ground truth. The result types are aliases of
+// internal/scenario so callers get the full structured scorecards; the
+// option types are facade-owned and share the Common surface above.
 type (
-	// ScenarioOptions parameterise RunScenario.
-	ScenarioOptions = scenario.Options
 	// ScenarioResult is one scenario's ground-truth scorecard.
 	ScenarioResult = scenario.Result
 	// ScenarioReport is the mergeable SCENARIOS.json document.
 	ScenarioReport = scenario.Report
-	// LongitudinalOptions parameterise RunLongitudinal.
-	LongitudinalOptions = scenario.LongitudinalOptions
 	// LongitudinalResult is one preset's multi-epoch scorecard: per-epoch
 	// precision/recall, identifier-persistence rates, alias-set survival
 	// curves, and the longitudinal merge-strategy comparison.
@@ -315,6 +378,38 @@ type (
 	// ScenarioSweep is one axis sweep's degradation curve.
 	ScenarioSweep = scenario.SweepReport
 )
+
+// ScenarioOptions parameterise RunScenario and RunScenarioSweep.
+type ScenarioOptions struct {
+	Common
+	// Quick selects the preset's CI-sized world; Scale overrides it.
+	Quick bool
+}
+
+// internal converts the facade options into the scenario engine's type.
+func (o ScenarioOptions) internal() scenario.Options {
+	return scenario.Options{
+		Seed:         o.Seed,
+		Scale:        o.Scale,
+		Quick:        o.Quick,
+		Workers:      o.Workers,
+		Parallelism:  o.Parallelism,
+		Backend:      o.Backend,
+		ShardWorkers: o.ShardWorkers,
+		LogDir:       o.LogDir,
+	}
+}
+
+// LongitudinalOptions parameterise RunLongitudinal.
+type LongitudinalOptions struct {
+	ScenarioOptions
+	// Epochs is the number of snapshot→churn→scan rounds; 0 picks 5, and
+	// values below 2 are rejected (a single epoch is RunScenario's job).
+	Epochs int
+	// Decay is the decay factor of the decay-weighted longitudinal merge
+	// strategy; 0 picks 0.5.
+	Decay float64
+}
 
 // ScenarioNames lists the preset catalog in canonical order.
 func ScenarioNames() []string { return scenario.Names() }
@@ -326,7 +421,7 @@ func ScenarioNames() []string { return scenario.Names() }
 // injection, whose drop draws are quenched per wire rather than rolled in
 // execution order.
 func RunScenario(name string, opts ScenarioOptions) (*ScenarioResult, error) {
-	return scenario.Run(name, opts)
+	return scenario.Run(name, opts.internal())
 }
 
 // RunLongitudinal runs the named preset over opts.Epochs successive
@@ -340,7 +435,11 @@ func RunScenario(name string, opts ScenarioOptions) (*ScenarioResult, error) {
 // against the final epoch's ground truth. Deterministic for a fixed
 // (name, options) at any concurrency setting.
 func RunLongitudinal(name string, opts LongitudinalOptions) (*LongitudinalResult, error) {
-	return scenario.RunLongitudinal(name, opts)
+	return scenario.RunLongitudinal(name, scenario.LongitudinalOptions{
+		Options: opts.internal(),
+		Epochs:  opts.Epochs,
+		Decay:   opts.Decay,
+	})
 }
 
 // LongitudinalScenarioNames lists the presets the CI longitudinal matrix
@@ -351,7 +450,7 @@ func LongitudinalScenarioNames() []string { return scenario.LongitudinalNames() 
 // and returns the per-value degradation curve — the Figure-style counterpart
 // of the single-point scenario scorecards.
 func RunScenarioSweep(axis, name string, values []float64, opts ScenarioOptions) (*ScenarioSweep, error) {
-	return scenario.RunSweep(axis, name, values, opts)
+	return scenario.RunSweep(axis, name, values, opts.internal())
 }
 
 // Stats computes the summary from the env's cached views; after the first

@@ -15,7 +15,7 @@ var (
 func testStudy(t *testing.T) *Study {
 	t.Helper()
 	studyOnce.Do(func() {
-		studyVal, studyErr = Run(Options{Seed: 4, Scale: 0.08, Workers: 64})
+		studyVal, studyErr = Run(StudyOptions{Common: Common{Seed: 4, Scale: 0.08, Workers: 64}})
 	})
 	if studyErr != nil {
 		t.Fatalf("Run: %v", studyErr)
@@ -157,11 +157,11 @@ func TestDeterministicRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds two worlds")
 	}
-	a, err := Run(Options{Seed: 9, Scale: 0.05})
+	a, err := Run(StudyOptions{Common: Common{Seed: 9, Scale: 0.05}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(Options{Seed: 9, Scale: 0.05})
+	b, err := Run(StudyOptions{Common: Common{Seed: 9, Scale: 0.05}})
 	if err != nil {
 		t.Fatal(err)
 	}

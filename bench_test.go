@@ -226,8 +226,8 @@ func BenchmarkTopoBuild(b *testing.B) {
 func BenchmarkRunLongitudinal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := RunLongitudinal("baseline", LongitudinalOptions{
-			Options: ScenarioOptions{Scale: 0.05, Workers: 128},
-			Epochs:  3,
+			ScenarioOptions: ScenarioOptions{Common: Common{Scale: 0.05, Workers: 128}},
+			Epochs:          3,
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -42,6 +42,9 @@ import (
 var errBadFlags = errors.New("bad flags")
 
 func main() {
+	// When a distributed-backend coordinator re-executes this binary as a
+	// shard worker, serve that role instead of parsing flags.
+	aliaslimit.RunShardWorkerIfRequested()
 	err := run(os.Args[1:], os.Stdout, os.Stderr)
 	switch {
 	case err == nil:

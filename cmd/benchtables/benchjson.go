@@ -95,8 +95,10 @@ func writeBenchJSON(path string, scale float64, seed uint64, workers, parallelis
 
 	// Full pipeline: world generation, both measurement campaigns, facade.
 	start := time.Now()
-	study, err := aliaslimit.Run(aliaslimit.Options{
-		Seed: seed, Scale: scale, Workers: workers, Parallelism: parallelism,
+	study, err := aliaslimit.Run(aliaslimit.StudyOptions{
+		Common: aliaslimit.Common{
+			Seed: seed, Scale: scale, Workers: workers, Parallelism: parallelism,
+		},
 	})
 	if err != nil {
 		return err
@@ -117,8 +119,10 @@ func writeBenchJSON(path string, scale float64, seed uint64, workers, parallelis
 	// three snapshot→churn→scan rounds plus the longitudinal scoring layer.
 	start = time.Now()
 	if _, err := aliaslimit.RunLongitudinal("baseline", aliaslimit.LongitudinalOptions{
-		Options: aliaslimit.ScenarioOptions{
-			Seed: seed, Scale: 0.05, Workers: workers, Parallelism: parallelism,
+		ScenarioOptions: aliaslimit.ScenarioOptions{
+			Common: aliaslimit.Common{
+				Seed: seed, Scale: 0.05, Workers: workers, Parallelism: parallelism,
+			},
 		},
 		Epochs: 3,
 	}); err != nil {
@@ -134,7 +138,9 @@ func writeBenchJSON(path string, scale float64, seed uint64, workers, parallelis
 	// paths exist for.
 	start = time.Now()
 	if _, err := aliaslimit.RunScenario("megascale-x10", aliaslimit.ScenarioOptions{
-		Seed: seed, Scale: 0.05, Workers: workers, Parallelism: parallelism,
+		Common: aliaslimit.Common{
+			Seed: seed, Scale: 0.05, Workers: workers, Parallelism: parallelism,
+		},
 	}); err != nil {
 		return err
 	}
@@ -228,22 +234,77 @@ func writeBenchJSON(path string, scale float64, seed uint64, workers, parallelis
 
 	// Per-backend resolution cost on identical inputs: the scorecard behind
 	// the README's backend comparison and the bench-regression gate's
-	// per-backend entries.
+	// per-backend entries. Each iteration is one full session lifecycle —
+	// open, feed the SSH union, pull the grouped sets (or merge the
+	// per-protocol sets), close — matching how the analysis layer drives a
+	// backend. The distributed backend is priced by the dedicated distres_*
+	// entries below, where the worker processes it spawns are amortised.
+	groupObs := env.Both.Obs[ident.SSH]
+	mergeGroups := [][]alias.Set{
+		env.Both.NonSingletonFamilySets(ident.SSH, true),
+		env.Both.NonSingletonFamilySets(ident.BGP, true),
+		env.Active.NonSingletonFamilySets(ident.SNMP, true),
+		env.Both.NonSingletonFamilySets(ident.SSH, false),
+		env.Both.NonSingletonFamilySets(ident.BGP, false),
+	}
+	sessionBench := func(be resolver.Backend, f func(resolver.Session)) func() {
+		return func() {
+			ses, err := be.Open(resolver.Options{})
+			if err != nil {
+				panic(err)
+			}
+			f(ses)
+			if err := ses.Close(); err != nil {
+				panic(err)
+			}
+		}
+	}
 	for _, name := range aliaslimit.BackendNames() {
+		if name == "distributed" {
+			continue
+		}
 		be, err := resolver.New(name, 0)
 		if err != nil {
 			return err
 		}
 		rep.Results = append(rep.Results,
-			measure("resolve_"+name+"_group", func() { be.Group(env.Both.Obs[ident.SSH]) }),
-			measure("resolve_"+name+"_merge", func() {
-				be.Merge(
-					env.Both.NonSingletonFamilySets(ident.SSH, true),
-					env.Both.NonSingletonFamilySets(ident.BGP, true),
-					env.Active.NonSingletonFamilySets(ident.SNMP, true),
-				)
-			}),
+			measure("resolve_"+name+"_group", sessionBench(be, func(ses resolver.Session) {
+				for _, o := range groupObs {
+					ses.Observe(o)
+				}
+				ses.Sets(ident.SSH)
+			})),
+			measure("resolve_"+name+"_merge", sessionBench(be, func(ses resolver.Session) {
+				ses.Merged(mergeGroups[:3]...)
+			})),
 		)
+	}
+
+	// Distributed wire-path entries: distres_stream is one coordinator→worker
+	// round trip (stream the SSH union through two worker processes, pull the
+	// grouped sets back), distres_merge one remote cross-shard merge (five
+	// groups ≥ 2×workers, so the round-robin remote path runs, not the local
+	// fallback). Worker spawn cost is excluded — the cluster is reused across
+	// iterations, as the scenario pipeline reuses it across partitions.
+	dbe, err := resolver.New("distributed", 2)
+	if err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results,
+		measure("distres_stream", sessionBench(dbe, func(ses resolver.Session) {
+			for _, o := range groupObs {
+				ses.Observe(o)
+			}
+			ses.Sets(ident.SSH)
+		})),
+		measure("distres_merge", sessionBench(dbe, func(ses resolver.Session) {
+			ses.Merged(mergeGroups...)
+		})),
+	)
+	if c, ok := dbe.(io.Closer); ok {
+		if err := c.Close(); err != nil {
+			return err
+		}
 	}
 	for _, id := range study.TableIDs() {
 		id := id

@@ -22,6 +22,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"aliaslimit"
@@ -32,6 +33,9 @@ import (
 var errBadFlags = errors.New("bad arguments")
 
 func main() {
+	// When the distributed backend re-executes this binary as a shard
+	// worker, serve that role instead of running a study.
+	aliaslimit.RunShardWorkerIfRequested()
 	err := run(os.Args[1:], os.Stdout, os.Stderr)
 	switch {
 	case err == nil:
@@ -43,6 +47,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// validateBackend rejects an unknown -backend value before anything runs,
+// naming the valid choices (the empty value selects the batch default).
+func validateBackend(name string) error {
+	if name == "" {
+		return nil
+	}
+	names := aliaslimit.BackendNames()
+	for _, b := range names {
+		if name == b {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown backend %q (valid: %s)", name, strings.Join(names, ", "))
 }
 
 // startProfiles turns on CPU profiling and/or arranges a heap profile dump,
@@ -90,7 +109,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Uint64("seed", 1, "world seed")
 	workers := fs.Int("workers", 256, "scan concurrency")
 	parallelism := fs.Int("parallelism", 0, "concurrent protocol sweeps (0 = all at once, 1 = sequential)")
-	backend := fs.String("backend", "", "resolver backend: batch|streaming|sharded (default batch)")
+	backend := fs.String("backend", "", "resolver backend: batch|streaming|sharded|distributed (default batch)")
+	shardWorkers := fs.Int("shard-workers", 0, "shard fan-out: goroutines for -backend sharded, worker processes for -backend distributed (0 = each backend's default)")
 	table := fs.String("table", "", "regenerate a single table (1-6)")
 	figure := fs.String("figure", "", "regenerate a single figure (3-6)")
 	extensions := fs.Bool("extensions", false, "also run the future-work extension experiments")
@@ -104,6 +124,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
 		}
+		return errBadFlags
+	}
+
+	// Reject an unknown backend before any world is built or measured: a
+	// typo must fail in milliseconds, not after the collection phase.
+	if err := validateBackend(*backend); err != nil {
+		fmt.Fprintf(stderr, "benchtables: %v\n", err)
 		return errBadFlags
 	}
 
@@ -126,13 +153,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	start := time.Now()
-	study, err := aliaslimit.Run(aliaslimit.Options{
-		Seed: *seed, Scale: *scale, Workers: *workers, Parallelism: *parallelism,
-		Backend: *backend,
+	study, err := aliaslimit.Run(aliaslimit.StudyOptions{
+		Common: aliaslimit.Common{
+			Seed: *seed, Scale: *scale, Workers: *workers, Parallelism: *parallelism,
+			Backend: *backend, ShardWorkers: *shardWorkers,
+		},
 	})
 	if err != nil {
 		return err
 	}
+	defer study.Close()
 	fmt.Fprintf(stderr, "world built and measured in %v\n", time.Since(start).Round(time.Millisecond))
 
 	switch {

@@ -5,9 +5,21 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
+	"os"
 	"strings"
 	"testing"
+
+	"aliaslimit"
 )
+
+// TestMain makes the test binary worker-capable: the benchjson report now
+// measures the distributed backend, whose coordinator re-executes the
+// running binary as its shard worker processes.
+func TestMain(m *testing.M) {
+	aliaslimit.RunShardWorkerIfRequested()
+	os.Exit(m.Run())
+}
 
 // TestRunSingleTable regenerates one table at tiny scale and sanity-checks
 // the rendering.
@@ -55,6 +67,7 @@ func TestRunBenchJSON(t *testing.T) {
 		"resolve_batch_group": false, "resolve_batch_merge": false,
 		"resolve_streaming_group": false, "resolve_streaming_merge": false,
 		"resolve_sharded_group": false, "resolve_sharded_merge": false,
+		"distres_stream": false, "distres_merge": false,
 	}
 	for _, r := range rep.Results {
 		if _, tracked := want[r.Name]; tracked {
@@ -101,5 +114,21 @@ func TestRunBackendFlag(t *testing.T) {
 	var stdout bytes.Buffer
 	if err := run([]string{"-scale", "0.05", "-backend", "quantum"}, &stdout, &stderr); err == nil {
 		t.Fatal("unknown backend accepted")
+	}
+}
+
+// TestBackendValidationMessage pins the early-rejection contract: an unknown
+// -backend fails with errBadFlags before any world is built, naming every
+// valid backend.
+func TestBackendValidationMessage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-backend", "bogus", "-table", "1"}, &stdout, &stderr)
+	if !errors.Is(err, errBadFlags) {
+		t.Fatalf("unknown backend: want errBadFlags, got %v", err)
+	}
+	want := fmt.Sprintf("benchtables: unknown backend %q (valid: %s)\n",
+		"bogus", strings.Join(aliaslimit.BackendNames(), ", "))
+	if stderr.String() != want {
+		t.Fatalf("stderr = %q, want %q", stderr.String(), want)
 	}
 }

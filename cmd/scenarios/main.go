@@ -40,6 +40,7 @@ import (
 	"strings"
 	"time"
 
+	"aliaslimit/internal/aliasd"
 	"aliaslimit/internal/atomicio"
 	"aliaslimit/internal/scenario"
 )
@@ -49,6 +50,9 @@ import (
 var errBadFlags = errors.New("bad arguments")
 
 func main() {
+	// When the distributed backend re-executes this binary as a shard
+	// worker, serve that role instead of running scenarios.
+	aliasd.RunWorkerIfRequested()
 	err := run(os.Args[1:], os.Stdout, os.Stderr)
 	switch {
 	case err == nil:
@@ -74,7 +78,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	parallelism := fs.Int("parallelism", 0, "concurrent protocol sweeps (0 = all at once)")
 	epochs := fs.Int("epochs", 1, "snapshot rounds per scenario; >1 runs the longitudinal pipeline")
 	decay := fs.Float64("decay", 0, "decay factor for the longitudinal decay-weighted merge (0 = default 0.5)")
-	backend := fs.String("backend", "", "resolver backend: batch|streaming|sharded (default batch), or 'all' to run every backend and require byte-identical alias sets")
+	backend := fs.String("backend", "", "resolver backend: batch|streaming|sharded|distributed (default batch), or 'all' to run every backend and require byte-identical alias sets")
+	shardWorkers := fs.Int("shard-workers", 0, "shard fan-out: goroutines for the sharded backend, worker processes for the distributed backend (0 = each backend's default)")
 	logDir := fs.String("log", "", "write a durable observation log + epoch checkpoints under this directory (single preset, single backend); a killed run continues with -resume")
 	resume := fs.String("resume", "", "continue the killed durable run whose log lives under this directory")
 	sweep := fs.String("sweep", "", "axis sweep, e.g. loss=1,5,10,20,30 (percent) or epochs=2,3,5; runs the -run preset per value")
@@ -89,6 +94,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return errBadFlags
 	}
 
+	// Reject an unknown backend before any world is built: a typo must fail
+	// in milliseconds with the valid names, not after minutes of collection.
+	if err := validateBackend(*backend); err != nil {
+		fmt.Fprintf(stderr, "scenarios: %v\n", err)
+		return errBadFlags
+	}
+
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
 		return err
@@ -96,13 +108,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	defer stopProfiles()
 
 	opts := scenario.Options{
-		Seed:        *seed,
-		Scale:       *scale,
-		Quick:       *quick,
-		Workers:     *workers,
-		Parallelism: *parallelism,
-		Backend:     *backend,
-		LogDir:      *logDir,
+		Seed:         *seed,
+		Scale:        *scale,
+		Quick:        *quick,
+		Workers:      *workers,
+		Parallelism:  *parallelism,
+		Backend:      *backend,
+		ShardWorkers: *shardWorkers,
+		LogDir:       *logDir,
 	}
 	if *logDir != "" {
 		// A durable log records exactly one run: multi-run modes would
@@ -154,6 +167,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fs.Usage()
 		return errBadFlags
 	}
+}
+
+// validateBackend rejects an unknown -backend value before anything runs,
+// naming the valid choices. The empty value selects the batch default and
+// "all" fans out over the whole catalog.
+func validateBackend(name string) error {
+	if name == "" || name == "all" {
+		return nil
+	}
+	names := scenario.BackendNames()
+	for _, b := range names {
+		if name == b {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown backend %q (valid: %s, or 'all')", name, strings.Join(names, ", "))
 }
 
 // startProfiles turns on CPU profiling and/or arranges a heap profile dump,

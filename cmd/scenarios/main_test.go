@@ -4,13 +4,24 @@ import (
 	"bytes"
 	"errors"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"aliaslimit/internal/aliasd"
 	"aliaslimit/internal/scenario"
 )
+
+// TestMain makes the test binary worker-capable: -backend all now covers the
+// distributed backend, whose coordinator re-executes the running binary as
+// its shard worker processes.
+func TestMain(m *testing.M) {
+	aliasd.RunWorkerIfRequested()
+	os.Exit(m.Run())
+}
 
 // TestRunList checks that every catalog preset appears in -list.
 func TestRunList(t *testing.T) {
@@ -243,6 +254,28 @@ func TestBackendFlag(t *testing.T) {
 	}
 }
 
+// TestBackendValidationMessage pins the early-rejection contract: an unknown
+// -backend must fail before any world is built, naming every valid backend
+// and the 'all' pseudo-backend. The run would take far longer than the time
+// bound if a world were built first, so the bound doubles as the
+// fail-fast check.
+func TestBackendValidationMessage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	start := time.Now()
+	err := run([]string{"-run", "baseline", "-backend", "bogus"}, &stdout, &stderr)
+	if !errors.Is(err, errBadFlags) {
+		t.Fatalf("unknown backend: want errBadFlags, got %v", err)
+	}
+	want := fmt.Sprintf("scenarios: unknown backend %q (valid: %s, or 'all')\n",
+		"bogus", strings.Join(scenario.BackendNames(), ", "))
+	if stderr.String() != want {
+		t.Fatalf("stderr = %q, want %q", stderr.String(), want)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("rejection took %v; backend validation must run before the world build", elapsed)
+	}
+}
+
 // TestSweepEpochsCLI sweeps the longitudinal depth through the CLI: values
 // are epoch counts, not percentages.
 func TestSweepEpochsCLI(t *testing.T) {
@@ -372,6 +405,44 @@ func TestCIBackendCoversCatalog(t *testing.T) {
 	}
 	if !strings.Contains(text, "-backend all") {
 		t.Error("ci.yml never runs the cross-backend byte-identity comparison (-backend all)")
+	}
+}
+
+// TestCIDistributedCompareJob pins the multi-process CI gate: the workflow
+// must run the full preset catalog with the coordinator plus at least two
+// real shard worker processes under -backend all, so every preset's
+// sets_digest is compared across all backends including distributed.
+func TestCIDistributedCompareJob(t *testing.T) {
+	names := scenario.BackendNames()
+	distributed := false
+	for _, n := range names {
+		if n == "distributed" {
+			distributed = true
+		}
+	}
+	if !distributed {
+		t.Fatalf("resolver registry %v lost the distributed backend; the CI job would gate nothing", names)
+	}
+
+	data, err := os.ReadFile(filepath.Join("..", "..", ".github", "workflows", "ci.yml"))
+	if err != nil {
+		t.Skipf("ci.yml not readable: %v", err)
+	}
+	text := string(data)
+	idx := strings.Index(text, "distributed-compare:")
+	if idx < 0 {
+		t.Fatal("ci.yml has no distributed-compare job")
+	}
+	job := text[idx:]
+	if end := strings.Index(job, "\n  scenario-merge:"); end >= 0 {
+		job = job[:end]
+	}
+	for _, want := range []string{
+		"-run all", "-quick", "-backend all", "-shard-workers 2",
+	} {
+		if !strings.Contains(job, want) {
+			t.Errorf("distributed-compare job missing %q", want)
+		}
 	}
 }
 

@@ -20,7 +20,9 @@ func ExampleScenarioNames() {
 // ExampleRunScenario runs the baseline preset on a tiny world and shows the
 // shape of the ground-truth scorecard.
 func ExampleRunScenario() {
-	res, err := aliaslimit.RunScenario("baseline", aliaslimit.ScenarioOptions{Scale: 0.05})
+	res, err := aliaslimit.RunScenario("baseline", aliaslimit.ScenarioOptions{
+		Common: aliaslimit.Common{Scale: 0.05},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,8 +35,10 @@ func ExampleRunScenario() {
 // per-epoch scores plus the metrics only a time axis can produce.
 func ExampleRunLongitudinal() {
 	res, err := aliaslimit.RunLongitudinal("baseline", aliaslimit.LongitudinalOptions{
-		Options: aliaslimit.ScenarioOptions{Scale: 0.05},
-		Epochs:  2,
+		ScenarioOptions: aliaslimit.ScenarioOptions{
+			Common: aliaslimit.Common{Scale: 0.05},
+		},
+		Epochs: 2,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -105,9 +109,9 @@ func ExampleServeAliasd() {
 	// Output: session s1 ingested 3 observations; ssh alias sets: [[192.0.2.1 192.0.2.2]]
 }
 
-// ExampleBackendNames lists the pluggable resolver backends: three
+// ExampleBackendNames lists the pluggable resolver backends: four
 // strategies, byte-identical alias sets.
 func ExampleBackendNames() {
 	fmt.Println(strings.Join(aliaslimit.BackendNames(), ", "))
-	// Output: batch, streaming, sharded
+	// Output: batch, streaming, sharded, distributed
 }

@@ -13,7 +13,9 @@ import (
 )
 
 func main() {
-	study, err := aliaslimit.Run(aliaslimit.Options{Seed: 2, Scale: 0.4})
+	study, err := aliaslimit.Run(aliaslimit.StudyOptions{
+		Common: aliaslimit.Common{Seed: 2, Scale: 0.4},
+	})
 	if err != nil {
 		log.Fatalf("asreport: %v", err)
 	}

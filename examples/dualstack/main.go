@@ -14,7 +14,9 @@ import (
 )
 
 func main() {
-	study, err := aliaslimit.Run(aliaslimit.Options{Seed: 21, Scale: 0.15})
+	study, err := aliaslimit.Run(aliaslimit.StudyOptions{
+		Common: aliaslimit.Common{Seed: 21, Scale: 0.15},
+	})
 	if err != nil {
 		log.Fatalf("dualstack: %v", err)
 	}

@@ -22,8 +22,10 @@ func main() {
 	flag.Parse()
 
 	res, err := aliaslimit.RunLongitudinal(*scenario, aliaslimit.LongitudinalOptions{
-		Options: aliaslimit.ScenarioOptions{Seed: 7, Scale: *scale},
-		Epochs:  *epochs,
+		ScenarioOptions: aliaslimit.ScenarioOptions{
+			Common: aliaslimit.Common{Seed: 7, Scale: *scale},
+		},
+		Epochs: *epochs,
 	})
 	if err != nil {
 		log.Fatalf("longitudinal: %v", err)

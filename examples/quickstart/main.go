@@ -18,7 +18,9 @@ func main() {
 	// lets the examples smoke test run an even tinier one.
 	scale := flag.Float64("scale", 0.1, "world scale")
 	flag.Parse()
-	study, err := aliaslimit.Run(aliaslimit.Options{Seed: 7, Scale: *scale})
+	study, err := aliaslimit.Run(aliaslimit.StudyOptions{
+		Common: aliaslimit.Common{Seed: 7, Scale: *scale},
+	})
 	if err != nil {
 		log.Fatalf("quickstart: %v", err)
 	}

@@ -12,7 +12,9 @@ import (
 )
 
 func main() {
-	study, err := aliaslimit.Run(aliaslimit.Options{Seed: 5, Scale: 0.3})
+	study, err := aliaslimit.Run(aliaslimit.StudyOptions{
+		Common: aliaslimit.Common{Seed: 5, Scale: 0.3},
+	})
 	if err != nil {
 		log.Fatalf("validation: %v", err)
 	}

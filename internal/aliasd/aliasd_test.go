@@ -86,7 +86,7 @@ func TestHealthzAndBackends(t *testing.T) {
 		Default  string   `json:"default"`
 	}
 	get(t, ts.URL+"/v1/backends", &backends)
-	if len(backends.Backends) != 3 || backends.Default != "streaming" {
+	if len(backends.Backends) != 4 || backends.Default != "streaming" {
 		t.Fatalf("backends = %+v", backends)
 	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"aliaslimit/internal/alias"
 	"aliaslimit/internal/asview"
+	"aliaslimit/internal/distres"
 	"aliaslimit/internal/ident"
 	"aliaslimit/internal/obsfile"
 	"aliaslimit/internal/resolver"
@@ -28,6 +29,7 @@ func (s *Server) buildHandler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionStats)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/resolve", s.handleResolve)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("POST /v1/flush", s.handleFlush)
 	mux.HandleFunc("GET /v1/sets", s.handleSets)
@@ -247,6 +249,40 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		Received: sess.received.Load(),
 		Applied:  sess.applied.Load(),
 	})
+}
+
+// handleResolve is the binary fast path distributed-resolution coordinators
+// speak (internal/distres wire format: CRC-32C frames, the obslog
+// discipline): observation batches, alias-set requests, and partition-merge
+// requests execute directly against the session's resolver state, bypassing
+// the NDJSON queue. The human-facing /v1 NDJSON API stays untouched — the
+// frames are for the fleet.
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	sess := s.sessionFrom(w, r)
+	if sess == nil {
+		return
+	}
+	if sess.env != nil {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("session %s is world-backed and refuses binary resolve", sess.ID))
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, applied, err := distres.ServeResolve(body, sess.rsess)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if applied > 0 {
+		sess.received.Add(int64(applied))
+		sess.applied.Add(int64(applied))
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(resp)
 }
 
 // handleFlush blocks until every observation queued before it has been

@@ -3,6 +3,7 @@ package aliasd
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -31,9 +32,10 @@ var (
 // SessionConfig is the tenant-supplied shape of one session (the POST
 // /v1/sessions body).
 type SessionConfig struct {
-	// Backend names the resolver strategy ("batch", "streaming", "sharded";
-	// empty picks streaming — the online backend is the natural default for
-	// a live service). Every backend yields byte-identical alias sets.
+	// Backend names the resolver strategy (any resolver.Names() entry —
+	// "batch", "streaming", "sharded", and "distributed" when linked; empty
+	// picks streaming — the online backend is the natural default for a live
+	// service). Every backend yields byte-identical alias sets.
 	Backend string `json:"backend,omitempty"`
 	// World, when true, builds a sealed measured environment instead of an
 	// empty ingest session: the daemon generates a synthetic Internet at
@@ -58,8 +60,9 @@ type ingestItem struct {
 }
 
 // Session is one tenant's independent resolution state. Ingest sessions own
-// a live resolver sink fed by a single worker goroutine draining a bounded
-// queue; world-backed sessions own a sealed environment. Neither shares
+// an open resolver session fed by a single worker goroutine draining a
+// bounded queue (and, on the binary fast path, directly by the resolve
+// endpoint); world-backed sessions own a sealed environment. Neither shares
 // mutable state with any other session.
 type Session struct {
 	// ID is the registry key ("s1", "s2", …); seq its creation order.
@@ -72,10 +75,11 @@ type Session struct {
 	// ingest sessions.
 	env *experiments.Env
 
-	// backend executes this session's merges; sink holds the live
-	// per-protocol grouping streams (ingest sessions only).
+	// backend is the named resolver factory; rsess is the open resolver
+	// session holding this tenant's live resolution state (ingest sessions
+	// only — world sessions keep their state inside env).
 	backend resolver.Backend
-	sink    *resolver.Sink
+	rsess   resolver.Session
 	queue   chan ingestItem
 	done    chan struct{}
 	hook    func()
@@ -84,8 +88,8 @@ type Session struct {
 	sendMu sync.RWMutex
 	closed bool
 
-	// received counts observations accepted into the queue; applied counts
-	// observations the worker has landed in the sink.
+	// received counts observations accepted into the queue (or on the binary
+	// fast path); applied counts observations landed in the resolver session.
 	received atomic.Int64
 	applied  atomic.Int64
 
@@ -127,7 +131,12 @@ func (s *Server) createSession(cfg SessionConfig) (*Session, error) {
 		}
 		sess.env = env
 	} else {
-		sess.sink = resolver.NewSink()
+		rsess, err := backend.Open(resolver.Options{})
+		if err != nil {
+			closeBackend(backend)
+			return nil, err
+		}
+		sess.rsess = rsess
 		sess.queue = make(chan ingestItem, s.cfg.QueueDepth)
 		sess.done = make(chan struct{})
 		sess.hook = s.cfg.applyHook
@@ -136,9 +145,11 @@ func (s *Server) createSession(cfg SessionConfig) (*Session, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
+		sess.release()
 		return nil, errClosed
 	}
 	if len(s.sessions) >= s.cfg.MaxSessions {
+		sess.release()
 		return nil, fmt.Errorf("%w (%d sessions)", errCapacity, s.cfg.MaxSessions)
 	}
 	s.nextID++
@@ -171,8 +182,25 @@ func buildWorld(cfg SessionConfig, backend resolver.Backend) (*experiments.Env, 
 	})
 }
 
-// loop is the session worker: it drains the queue into the live sink,
-// acknowledging flush markers in arrival order.
+// release frees the resolver resources of a session that was opened but
+// never registered (or has finished draining). Backends that hold external
+// resources — the distributed backend's worker cluster — implement io.Closer.
+func (sess *Session) release() {
+	if sess.rsess != nil {
+		sess.rsess.Close()
+	}
+	closeBackend(sess.backend)
+}
+
+// closeBackend closes a backend factory when it holds external resources.
+func closeBackend(b resolver.Backend) {
+	if c, ok := b.(io.Closer); ok {
+		c.Close()
+	}
+}
+
+// loop is the session worker: it drains the queue into the live resolver
+// session, acknowledging flush markers in arrival order.
 func (sess *Session) loop() {
 	defer close(sess.done)
 	for it := range sess.queue {
@@ -183,9 +211,12 @@ func (sess *Session) loop() {
 		if sess.hook != nil {
 			sess.hook()
 		}
-		sess.sink.Observe(it.proto, it.obs)
+		sess.rsess.Observe(it.obs)
 		sess.applied.Add(1)
 	}
+	// The queue only closes once the session has left the registry (or the
+	// daemon is draining), so the resolver resources can be released.
+	sess.release()
 }
 
 // offer enqueues one observation without blocking. errQueueFull asks the
@@ -298,9 +329,9 @@ func (sess *Session) snapshot() *sessionView {
 	return v
 }
 
-// livePartitions derives the scored partitions from the live streams,
-// mirroring scenario.ScoredPartitions partition for partition so an ingest
-// session's sets_digest is directly comparable with a scorecard's: the
+// livePartitions derives the scored partitions from the live resolver
+// session, mirroring scenario.ScoredPartitions partition for partition so an
+// ingest session's sets_digest is directly comparable with a scorecard's: the
 // per-protocol non-singleton groups, the per-family union merges of the
 // non-singleton family subsets, and the dual-stack sets of the all-family
 // merge.
@@ -308,7 +339,7 @@ func (sess *Session) livePartitions() []scenario.Partition {
 	order := []ident.Protocol{ident.SSH, ident.BGP, ident.SNMP}
 	sets := make(map[ident.Protocol][]alias.Set, len(order))
 	for _, p := range order {
-		sets[p] = sess.sink.Sets(p)
+		sets[p] = sess.rsess.Sets(p)
 	}
 	var parts []scenario.Partition
 	for _, p := range order {
@@ -322,14 +353,14 @@ func (sess *Session) livePartitions() []scenario.Partition {
 		if !v4 {
 			name = "union-v6"
 		}
-		merged := sess.backend.Merge(
+		merged := sess.rsess.Merged(
 			alias.NonSingleton(alias.FilterFamily(sets[ident.SSH], v4)),
 			alias.NonSingleton(alias.FilterFamily(sets[ident.BGP], v4)),
 			alias.NonSingleton(alias.FilterFamily(sets[ident.SNMP], v4)),
 		)
 		parts = append(parts, scenario.Partition{Name: name, Sets: alias.NonSingleton(merged)})
 	}
-	dual := sess.backend.Merge(sets[ident.SSH], sets[ident.BGP], sets[ident.SNMP])
+	dual := sess.rsess.Merged(sets[ident.SSH], sets[ident.BGP], sets[ident.SNMP])
 	parts = append(parts, scenario.Partition{Name: "dualstack", Sets: alias.DualStack(dual)})
 	return parts
 }

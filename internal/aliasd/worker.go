@@ -1,0 +1,46 @@
+package aliasd
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+
+	"aliaslimit/internal/distres"
+)
+
+// RunWorkerIfRequested turns the current process into a distributed-resolution
+// shard worker when distres.WorkerEnv is set, and returns immediately (doing
+// nothing) otherwise. A main function that calls this first is
+// "worker-capable": the distres coordinator re-executes the binary with the
+// variable set, and instead of running its normal command the process serves a
+// full aliasd API on a loopback port, prints the ready handshake
+// (distres.ReadyPrefix plus its base URL) on stdout, and exits when its stdin
+// — held by the coordinator — reaches EOF.
+//
+// A shard worker is deliberately nothing more than an ordinary aliasd server:
+// the coordinator creates plain sessions over it and speaks the binary
+// /v1/sessions/{id}/resolve fast path, while the whole human-facing NDJSON
+// API stays available for inspection.
+func RunWorkerIfRequested() {
+	if os.Getenv(distres.WorkerEnv) == "" {
+		return
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aliasd worker: listen: %v\n", err)
+		os.Exit(1)
+	}
+	srv := NewServer(Config{})
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	fmt.Printf("%shttp://%s\n", distres.ReadyPrefix, ln.Addr())
+
+	// The coordinator holds our stdin; EOF is the exit signal. Closing the
+	// listener first refuses new work, then the process leaves — workers hold
+	// no state a fresh session cannot rebuild, so there is nothing to drain.
+	io.Copy(io.Discard, os.Stdin)
+	hs.Close()
+	os.Exit(0)
+}

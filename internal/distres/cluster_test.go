@@ -1,0 +1,259 @@
+package distres_test
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"os"
+	"testing"
+
+	"aliaslimit/internal/alias"
+	"aliaslimit/internal/aliasd"
+	"aliaslimit/internal/distres"
+	"aliaslimit/internal/ident"
+	"aliaslimit/internal/resolver"
+)
+
+// TestMain makes the test binary worker-capable: the coordinator under test
+// re-executes this very binary as its shard-worker processes. (External test
+// package: aliasd imports distres, so the worker entry point would be an
+// import cycle from inside package distres.)
+func TestMain(m *testing.M) {
+	aliasd.RunWorkerIfRequested()
+	os.Exit(m.Run())
+}
+
+// corpus builds a deterministic observation mix keyed on seed: aliased
+// groups across all three protocols, both address families, interleaved so
+// every shard route sees work.
+func corpus(seed uint64, n int) []alias.Observation {
+	out := make([]alias.Observation, 0, n)
+	for i := 0; i < n; i++ {
+		k := uint64(i)*2654435761 + seed*97
+		var a netip.Addr
+		if k%4 == 0 {
+			a = netip.AddrFrom16([16]byte{0x20, 0x01, 0x0d, 0xb8, 14: byte(k >> 8), 15: byte(k)})
+		} else {
+			a = netip.AddrFrom4([4]byte{10, byte(k >> 16), byte(k >> 8), byte(k)})
+		}
+		out = append(out, alias.Observation{
+			Addr: a,
+			ID: ident.Identifier{
+				Proto: ident.Protocols[i%len(ident.Protocols)],
+				// ~3 addresses share each digest: real alias groups to ship.
+				Digest: fmt.Sprintf("seed%d-group-%04d", seed, k%uint64(n/3+1)),
+			},
+		})
+	}
+	return out
+}
+
+// setKeys flattens a partition into canonical keys for comparison.
+func setKeys(sets []alias.Set) []string {
+	out := make([]string, len(sets))
+	for i, s := range sets {
+		out[i] = string(s.Key())
+	}
+	return out
+}
+
+// requireEqualSets fails unless two partitions are byte-identical.
+func requireEqualSets(t *testing.T, label string, want, got []alias.Set) {
+	t.Helper()
+	wk, gk := setKeys(want), setKeys(got)
+	if len(wk) != len(gk) {
+		t.Fatalf("%s: %d sets, want %d", label, len(gk), len(wk))
+	}
+	for i := range wk {
+		if wk[i] != gk[i] {
+			t.Fatalf("%s: set %d = %q, want %q", label, i, gk[i], wk[i])
+		}
+	}
+}
+
+// TestDistributedMatchesBatchAcrossWorkerCounts is the cross-process
+// determinism gate at the session level: coordinator plus 1, 2, and 7 real
+// worker processes, at two seeds, must reproduce the batch backend's alias
+// sets and merges byte for byte. CI runs it under -race.
+func TestDistributedMatchesBatchAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	for _, seed := range []uint64{1, 42} {
+		obs := corpus(seed, 900)
+
+		batch := resolver.NewBatch()
+		bs, err := batch.Open(resolver.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range obs {
+			bs.Observe(o)
+		}
+		wantSets := map[ident.Protocol][]alias.Set{}
+		for _, p := range ident.Protocols {
+			wantSets[p] = bs.Sets(p)
+		}
+		wantMerged := bs.Merged(wantSets[ident.SSH], wantSets[ident.BGP], wantSets[ident.SNMP])
+		if err := bs.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		for _, workers := range []int{1, 2, 7} {
+			t.Run(fmt.Sprintf("seed%d-workers%d", seed, workers), func(t *testing.T) {
+				be := distres.New(workers)
+				defer be.Close()
+				ses, err := be.Open(resolver.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer ses.Close()
+				for _, o := range obs {
+					ses.Observe(o)
+				}
+				groups := map[ident.Protocol][]alias.Set{}
+				for _, p := range ident.Protocols {
+					groups[p] = ses.Sets(p)
+					requireEqualSets(t, p.String(), wantSets[p], groups[p])
+				}
+				merged := ses.Merged(groups[ident.SSH], groups[ident.BGP], groups[ident.SNMP])
+				requireEqualSets(t, "merged", wantMerged, merged)
+				if err := ses.Close(); err != nil {
+					t.Fatalf("healthy session Close: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestSessionsShareOneCluster pins the backend contract: every session a
+// backend opens runs on the same worker fleet (the shard map is a function
+// of the cluster size, so sessions must agree on it), and independent
+// sessions do not leak observations into each other.
+func TestSessionsShareOneCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	be := distres.New(2)
+	defer be.Close()
+	s1, err := be.Open(resolver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	c := be.Cluster()
+	if c == nil || c.Size() != 2 {
+		t.Fatalf("cluster after first Open: %+v", c)
+	}
+	s2, err := be.Open(resolver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if be.Cluster() != c {
+		t.Fatal("second Open built a second cluster")
+	}
+
+	for _, o := range corpus(7, 300) {
+		s1.Observe(o)
+	}
+	if got := s2.Sets(ident.SSH); len(got) != 0 {
+		t.Fatalf("fresh session sees %d sets fed to a sibling", len(got))
+	}
+	if got := s1.Sets(ident.SSH); len(got) == 0 {
+		t.Fatal("fed session resolved no sets")
+	}
+}
+
+// TestWorkerCrashFailsCleanly is the failure-model gate: SIGKILL one worker
+// mid-stream and the session must turn into a clean, retryable error — nil
+// set views, no partial merge, ErrWorkerFailed from Close — while a fresh
+// backend retries the same work successfully.
+func TestWorkerCrashFailsCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	obs := corpus(3, 600)
+
+	be := distres.New(2)
+	defer be.Close()
+	ses, err := be.Open(resolver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range obs {
+		ses.Observe(o)
+	}
+	if got := ses.Sets(ident.SSH); len(got) == 0 {
+		t.Fatal("healthy session resolved no SSH sets")
+	}
+
+	// Crash one shard, then stream more work at it: the flush must surface
+	// the failure rather than hang or half-apply.
+	if err := be.Cluster().KillWorker(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range obs {
+		ses.Observe(o)
+	}
+	if got := ses.Sets(ident.BGP); got != nil {
+		t.Fatalf("Sets after worker crash returned %d sets, want nil", len(got))
+	}
+	if got := ses.Sets(ident.SSH); got != nil {
+		t.Fatal("previously resolved protocol still served after crash")
+	}
+	if got := ses.Merged([]alias.Set{alias.NewSet(netip.MustParseAddr("10.0.0.1"))}); got != nil {
+		t.Fatal("Merged after worker crash returned a partial result")
+	}
+	err = ses.Close()
+	if !errors.Is(err, distres.ErrWorkerFailed) {
+		t.Fatalf("Close after crash = %v, want ErrWorkerFailed", err)
+	}
+
+	// The condition is retryable: a fresh cluster resolves the same corpus.
+	retry := distres.New(2)
+	defer retry.Close()
+	rs, err := retry.Open(resolver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	for _, o := range obs {
+		rs.Observe(o)
+	}
+	if got := rs.Sets(ident.SSH); len(got) == 0 {
+		t.Fatal("retry after crash resolved no sets")
+	}
+}
+
+// TestClosedBackendRefusesOpen pins Close semantics: closing the backend
+// stops the fleet and later Opens fail with the retryable error, not a
+// fresh silent cluster.
+func TestClosedBackendRefusesOpen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	be := distres.New(1)
+	if _, err := be.Open(resolver.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := be.Open(resolver.Options{}); !errors.Is(err, distres.ErrWorkerFailed) {
+		t.Fatalf("Open after Close = %v, want ErrWorkerFailed", err)
+	}
+}
+
+// TestAttachEnvSizesBackend pins the multi-machine shape: a URL list in the
+// attach environment variable fixes the worker count without spawning.
+func TestAttachEnvSizesBackend(t *testing.T) {
+	t.Setenv(distres.AttachEnv, "http://127.0.0.1:1/, http://127.0.0.1:2")
+	be := distres.New(0)
+	if got := be.Workers(); got != 2 {
+		t.Fatalf("Workers with attach env = %d, want 2", got)
+	}
+}

@@ -1,0 +1,42 @@
+package distres
+
+import (
+	"fmt"
+
+	"aliaslimit/internal/resolver"
+)
+
+// ServeResolve is the worker side of the wire protocol: it decodes one
+// complete coordinator message, executes it against the worker's resolver
+// session, and returns the encoded response. It is the one exported seam
+// between this package's private codec and the aliasd HTTP endpoint (POST
+// /v1/sessions/{id}/resolve) that carries the frames.
+//
+// applied reports how many observations the message landed in the session
+// (opObs only), so the serving layer can advance its ingest counters. Any
+// error means the message was rejected whole — a session never applies a
+// partial batch.
+func ServeResolve(body []byte, sess resolver.Session) (resp []byte, applied int, err error) {
+	m, err := decodeMessage(body)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch m.op {
+	case opObs:
+		if err := m.checkCount(); err != nil {
+			return nil, 0, err
+		}
+		for _, o := range m.obs {
+			sess.Observe(o)
+		}
+		return encodeAck(len(m.obs)), len(m.obs), nil
+	case opSets:
+		return encodeSetStream(opSets, m.proto, sess.Sets(m.proto)), 0, nil
+	case opMerge:
+		if err := m.checkCount(); err != nil {
+			return nil, 0, err
+		}
+		return encodeSetStream(opMerge, 0, sess.Merged(m.sets)), 0, nil
+	}
+	return nil, 0, fmt.Errorf("distres: op %d has no server handler", m.op)
+}

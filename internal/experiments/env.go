@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"sync"
 	"time"
 
 	"aliaslimit/internal/netsim"
@@ -26,6 +27,10 @@ type Env struct {
 
 	views   envViews
 	backend resolver.Backend
+	// session executes the cross-dataset merges; each dataset holds its own
+	// session for its views. Close releases all of them.
+	session   resolver.Session
+	closeOnce sync.Once
 }
 
 // Options parameterise environment construction.
@@ -48,9 +53,9 @@ type Options struct {
 	// Backend is the alias-resolution strategy every analysis view routes
 	// through; nil selects a fresh batch backend per environment. The choice
 	// never changes any view's bytes — only the execution strategy. A
-	// streaming backend additionally has its live sink fed during
-	// collection, so the union dataset's alias sets are already grouped
-	// when the scans return.
+	// live-feeding backend (streaming, distributed — see resolver.FeedsLive)
+	// additionally has per-dataset sessions fed during collection, so every
+	// dataset's alias sets are already resolved when the scans return.
 	Backend resolver.Backend
 	// Log, when set, makes the run durable: both campaigns' scan sinks tee
 	// every observation into the log writer during collection, and each

@@ -1,0 +1,20 @@
+package experiments_test
+
+import (
+	"os"
+	"testing"
+
+	"aliaslimit/internal/aliasd"
+)
+
+// TestMain makes the test binary worker-capable: the distributed backend
+// re-executes the running binary as its shard worker processes, so the
+// backend-identity tests can cover "distributed" only if this binary serves
+// the worker role when the coordinator's environment marker is set. (The
+// file sits in the external test package because aliasd transitively
+// imports experiments; the worker entry point would be an import cycle from
+// inside.)
+func TestMain(m *testing.M) {
+	aliasd.RunWorkerIfRequested()
+	os.Exit(m.Run())
+}

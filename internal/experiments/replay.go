@@ -18,7 +18,7 @@ import (
 // are valid (everything scenario.ScoredPartitions reads). World-dependent
 // analyses — the MIDAR verification run, coverage against ground truth —
 // need the live series, not a replay.
-func ReplayEnv(snap *obslog.Snapshot, backend resolver.Backend) *Env {
+func ReplayEnv(snap *obslog.Snapshot, backend resolver.Backend) (*Env, error) {
 	active := NewDataset("Active")
 	censys := NewDataset("Censys")
 	for _, p := range ident.Protocols {
@@ -34,6 +34,8 @@ func ReplayEnv(snap *obslog.Snapshot, backend resolver.Backend) *Env {
 		Censys: censys,
 		Both:   Union("Union", active, censys),
 	}
-	env.seal(backend)
-	return env
+	if err := env.seal(backend, nil, nil, nil); err != nil {
+		return nil, err
+	}
+	return env, nil
 }

@@ -40,7 +40,7 @@ func viewsFingerprint(env *Env) map[string]interface{} {
 
 // TestReplayMatchesInRAMAllBackends pins the tentpole recovery invariant:
 // every epoch replayed from the observation log rebuilds the exact
-// partition views of the in-RAM run, on all three resolver backends.
+// partition views of the in-RAM run, on every resolver backend.
 func TestReplayMatchesInRAMAllBackends(t *testing.T) {
 	for _, name := range resolver.Names() {
 		name := name
@@ -76,7 +76,11 @@ func TestReplayMatchesInRAMAllBackends(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				got := viewsFingerprint(ReplayEnv(snap, replayBackend))
+				renv, err := ReplayEnv(snap, replayBackend)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := viewsFingerprint(renv)
 				for key, w := range want[e] {
 					if !reflect.DeepEqual(got[key], w) {
 						t.Errorf("epoch %d view %s: replay diverges from in-RAM run", e, key)

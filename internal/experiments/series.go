@@ -4,11 +4,21 @@ import (
 	"fmt"
 	"time"
 
+	"aliaslimit/internal/alias"
 	"aliaslimit/internal/ident"
 	"aliaslimit/internal/obslog"
 	"aliaslimit/internal/resolver"
 	"aliaslimit/internal/topo"
 )
+
+// sessionSink adapts an open resolver session to the ObservationSink shape
+// collection feeds — the seam that lets any live-feeding backend (streaming
+// goroutines, distributed worker processes) consume a campaign online.
+type sessionSink struct{ s resolver.Session }
+
+// Observe implements ObservationSink. The protocol tag is redundant with the
+// observation's identifier and the session routes by the latter.
+func (k sessionSink) Observe(_ ident.Protocol, o alias.Observation) { k.s.Observe(o) }
 
 // EnvSeries is the multi-epoch measurement runtime: one persistent world
 // measured by N successive snapshot→churn→scan rounds. Each Advance call
@@ -114,17 +124,32 @@ func (s *EnvSeries) Advance() (*Epoch, error) {
 	s.next++
 	w := s.World
 
-	// A streaming backend consumes observations online: per epoch, each
-	// campaign feeds its own fresh sink plus a shared union sink, so every
-	// dataset's alias sets — Active, Censys, and the union — are fully
-	// grouped the moment the scans return. This is the live per-dataset view
-	// wiring the resolution daemon builds on.
+	// A live-feeding backend consumes observations online: per epoch, each
+	// campaign feeds its own fresh session plus a shared union session, so
+	// every dataset's alias sets — Active, Censys, and the union — are fully
+	// resolved the moment the scans return. This is the live per-dataset view
+	// wiring the resolution daemon and the distributed coordinator build on.
 	activeOpts, censysOpts := s.opts.Scan, s.opts.Scan
-	var activeSink, censysSink, unionSink *resolver.Sink
-	if f, ok := s.opts.Backend.(resolver.LiveFeeder); ok {
-		activeSink, censysSink, unionSink = f.NewSink(), f.NewSink(), f.NewSink()
-		activeOpts.Sink = TeeSink(activeSink, unionSink)
-		censysOpts.Sink = TeeSink(censysSink, unionSink)
+	var activeSes, censysSes, unionSes resolver.Session
+	if resolver.FeedsLive(s.opts.Backend) {
+		open := func() (resolver.Session, error) {
+			return s.opts.Backend.Open(resolver.Options{})
+		}
+		var err error
+		if activeSes, err = open(); err != nil {
+			return nil, fmt.Errorf("experiments: opening live session: %w", err)
+		}
+		if censysSes, err = open(); err != nil {
+			activeSes.Close()
+			return nil, fmt.Errorf("experiments: opening live session: %w", err)
+		}
+		if unionSes, err = open(); err != nil {
+			activeSes.Close()
+			censysSes.Close()
+			return nil, fmt.Errorf("experiments: opening live session: %w", err)
+		}
+		activeOpts.Sink = TeeSink(sessionSink{activeSes}, sessionSink{unionSes})
+		censysOpts.Sink = TeeSink(sessionSink{censysSes}, sessionSink{unionSes})
 	}
 	if lg := s.opts.Log; lg != nil {
 		// Durable runs additionally tee every observation into the log,
@@ -140,8 +165,17 @@ func (s *EnvSeries) Advance() (*Epoch, error) {
 		stats.EpochChurnStats = w.ApplyEpochChurn(s.opts.EpochChurn, e)
 	}
 
+	closeLive := func() {
+		for _, ls := range []resolver.Session{activeSes, censysSes, unionSes} {
+			if ls != nil {
+				ls.Close()
+			}
+		}
+	}
+
 	censys, err := CollectCensys(w, censysOpts)
 	if err != nil {
+		closeLive()
 		return nil, err
 	}
 	w.Clock.Advance(s.opts.SnapshotGap)
@@ -151,6 +185,7 @@ func (s *EnvSeries) Advance() (*Epoch, error) {
 	}
 	active, err := CollectActive(w, activeOpts)
 	if err != nil {
+		closeLive()
 		return nil, err
 	}
 	env := &Env{
@@ -159,17 +194,13 @@ func (s *EnvSeries) Advance() (*Epoch, error) {
 		Censys: censys,
 		Both:   Union("Union", active, censys),
 	}
-	env.seal(s.opts.Backend)
-	if unionSink != nil {
-		// Each sink saw exactly its dataset's observations (the union sink
-		// the union of both campaigns), so the online groups are that
-		// dataset's identifier views, byte-identical to a batch regroup of
-		// the sealed data.
-		for _, p := range ident.Protocols {
-			env.Active.preGroup(p, activeSink.Sets(p))
-			env.Censys.preGroup(p, censysSink.Sets(p))
-			env.Both.preGroup(p, unionSink.Sets(p))
-		}
+	// Each live session saw exactly its dataset's observations (the union
+	// session the union of both campaigns), so sealing adopts them as the
+	// datasets' resolution state — byte-identical to a batch regroup of the
+	// sealed data.
+	if err := env.seal(s.opts.Backend, activeSes, censysSes, unionSes); err != nil {
+		closeLive()
+		return nil, fmt.Errorf("experiments: sealing epoch %d: %w", e, err)
 	}
 	ep := &Epoch{Env: env, Stats: stats, Truth: w.Truth.Snapshot()}
 	if lg := s.opts.Log; lg != nil {

@@ -67,37 +67,45 @@ type datasetViews struct {
 	addrs    [numProto][3]memo[[]netip.Addr] // per-protocol address universes
 	allAddrs [3]memo[[]netip.Addr]           // cross-protocol address universes
 
-	// backend is the resolver strategy every grouping and merge in this
-	// dataset's views routes through; backends are concurrency-safe, so no
+	// session is the open resolver session every grouping and merge in this
+	// dataset's views routes through; sessions are concurrency-safe, so no
 	// extra serialisation is needed here.
-	backend resolver.Backend
-	// pre holds per-protocol alias sets resolved online during collection
-	// (the streaming backend's live sink); when present, Sets serves them
-	// instead of re-grouping the sealed observations.
-	pre [numProto][]alias.Set
+	session resolver.Session
+	// live records that session was fed observation-by-observation during
+	// collection (a live-feeding backend — streaming or distributed), so its
+	// resolution state already covers the dataset and Sets never replays the
+	// sealed observations into it.
+	live bool
 }
 
-// Seal freezes the dataset for analysis with the default batch resolver:
+// Seal freezes the dataset for analysis with a fresh batch resolver session:
 // mutation panics from here on, and derived views are cached. Sealing twice
 // is a no-op.
-func (d *Dataset) Seal() { d.SealWith(nil) }
+func (d *Dataset) Seal() { d.SealWith(nil, false) }
 
-// SealWith is Seal with an explicit resolver backend; nil selects a fresh
-// batch backend. The backend choice never changes a single byte of any view
-// — only the execution strategy (see internal/resolver).
-func (d *Dataset) SealWith(b resolver.Backend) {
+// SealWith is Seal with an explicit open resolver session; nil selects a
+// fresh batch session. live marks a session that was already fed during
+// collection (see datasetViews.live). The session choice never changes a
+// single byte of any view — only the execution strategy (see
+// internal/resolver).
+func (d *Dataset) SealWith(s resolver.Session, live bool) {
 	if d.views == nil {
-		if b == nil {
-			b = resolver.NewBatch()
+		if s == nil {
+			s = mustBatchSession()
+			live = false
 		}
-		d.views = &datasetViews{backend: b}
+		d.views = &datasetViews{session: s, live: live}
 	}
 }
 
-// preGroup installs collection-time resolved sets for one protocol. Must be
-// called right after sealing, before any view is read.
-func (d *Dataset) preGroup(p ident.Protocol, sets []alias.Set) {
-	d.views.pre[p] = sets
+// mustBatchSession opens a session on a fresh batch backend — the default
+// resolver, whose Open never fails.
+func mustBatchSession() resolver.Session {
+	s, err := resolver.NewBatch().Open(resolver.Options{})
+	if err != nil {
+		panic("experiments: batch backend refused to open: " + err.Error())
+	}
+	return s
 }
 
 // Sealed reports whether the dataset has been sealed.
@@ -148,7 +156,7 @@ func (d *Dataset) MergedFamily(v4 bool) []alias.Set {
 		bgpS := d.NonSingletonFamilySets(ident.BGP, v4)
 		snmp := d.NonSingletonFamilySets(ident.SNMP, v4)
 		if v := d.views; v != nil {
-			return v.backend.Merge(ssh, bgpS, snmp)
+			return v.session.Merged(ssh, bgpS, snmp)
 		}
 		return alias.Merge(ssh, bgpS, snmp)
 	}
@@ -198,29 +206,77 @@ type MIDARResult struct {
 	Tally midar.Tally
 }
 
-// seal freezes all three datasets after collection on one resolver
-// strategy; nil selects batch. Stateful backends fork per dataset (and for
-// the env-level merges), so the concurrent render paths keep the merge
-// parallelism the per-dataset tables used to provide.
-func (e *Env) seal(b resolver.Backend) {
+// seal freezes all three datasets after collection on one resolver backend;
+// nil selects batch. Each dataset gets its own open session (and the env
+// keeps one for the cross-dataset merges), so the concurrent render paths
+// keep the merge parallelism the per-dataset tables used to provide. When
+// collection already fed live sessions (a live-feeding backend), they are
+// passed in and adopted as the datasets' resolution state.
+func (e *Env) seal(b resolver.Backend, activeSes, censysSes, unionSes resolver.Session) error {
 	if b == nil {
 		b = resolver.NewBatch()
 	}
-	e.backend = resolver.Fork(b)
-	e.Active.SealWith(resolver.Fork(b))
-	e.Censys.SealWith(resolver.Fork(b))
-	e.Both.SealWith(resolver.Fork(b))
+	e.backend = b
+	open := func() (resolver.Session, error) { return b.Open(resolver.Options{}) }
+	s, err := open()
+	if err != nil {
+		return err
+	}
+	e.session = s
+	live := activeSes != nil
+	if !live {
+		if activeSes, err = open(); err != nil {
+			return err
+		}
+		if censysSes, err = open(); err != nil {
+			return err
+		}
+		if unionSes, err = open(); err != nil {
+			return err
+		}
+	}
+	e.Active.SealWith(activeSes, live)
+	e.Censys.SealWith(censysSes, live)
+	e.Both.SealWith(unionSes, live)
+	return nil
 }
 
 // Resolver returns the backend the environment's views resolve through.
 func (e *Env) Resolver() resolver.Backend { return e.backend }
+
+// Close releases the environment's resolver sessions. For the in-process
+// backends this is a no-op; for the distributed backend it deletes the
+// remote shard sessions and surfaces any sticky worker failure. Idempotent;
+// the analysis views already computed stay readable.
+func (e *Env) Close() error {
+	var err error
+	e.closeOnce.Do(func() {
+		for _, s := range []resolver.Session{e.session, e.Active.session(), e.Censys.session(), e.Both.session()} {
+			if s == nil {
+				continue
+			}
+			if cerr := s.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	})
+	return err
+}
+
+// session exposes a dataset's open resolver session, nil before sealing.
+func (d *Dataset) session() resolver.Session {
+	if d == nil || d.views == nil {
+		return nil
+	}
+	return d.views.session
+}
 
 // UnionFamilySets returns the canonical cross-protocol union partition for
 // one family: SSH and BGP from the union dataset, SNMPv3 from the active
 // scan (its single source), merged.
 func (e *Env) UnionFamilySets(v4 bool) []alias.Set {
 	return e.views.unionFam[famIdx(v4)].get(func() []alias.Set {
-		return e.backend.Merge(
+		return e.session.Merged(
 			e.Both.NonSingletonFamilySets(ident.SSH, v4),
 			e.Both.NonSingletonFamilySets(ident.BGP, v4),
 			e.Active.NonSingletonFamilySets(ident.SNMP, v4),
@@ -240,7 +296,7 @@ func (e *Env) UnionFamilyNonSingleton(v4 bool) []alias.Set {
 // identifier groups — the partition dual-stack analysis reads.
 func (e *Env) DualStackMerged() []alias.Set {
 	return e.views.dualMerged.get(func() []alias.Set {
-		return e.backend.Merge(
+		return e.session.Merged(
 			e.Both.Sets(ident.SSH), e.Both.Sets(ident.BGP), e.Both.Sets(ident.SNMP))
 	})
 }

@@ -1,0 +1,26 @@
+package obslog
+
+// The CRC-32C frame discipline — u32le payload length, payload, u32le
+// Castagnoli checksum — is this package's unit of durability, and it is
+// deliberately content-agnostic: nothing in a frame says "observation log".
+// The distributed resolution wire protocol (internal/distres) reuses exactly
+// this discipline for its coordinator↔worker streams, so the two layers
+// share one framing implementation and one corruption story: a truncated or
+// flipped tail is detected by the same checksum walk whether the bytes came
+// off a disk or a socket. These exported wrappers are that shared surface.
+
+// FrameOverhead is the fixed per-frame cost: the length prefix plus the CRC
+// trailer.
+const FrameOverhead = frameOverhead
+
+// AppendFrame appends one CRC-32C frame carrying payload to dst and returns
+// the extended slice. Payloads must be non-empty — a zero-length payload is
+// indistinguishable from a truncated tail on decode.
+func AppendFrame(dst, payload []byte) []byte { return appendFrame(dst, payload) }
+
+// NextFrame parses the frame at the start of data, returning its payload and
+// total encoded size. ok is false when the bytes do not form a complete,
+// CRC-valid frame — the truncated-or-corrupt-tail case readers drop cleanly.
+// The payload aliases data; callers that retain it past the buffer's
+// lifetime must copy.
+func NextFrame(data []byte) (payload []byte, size int, ok bool) { return nextFrame(data) }

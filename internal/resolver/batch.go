@@ -4,56 +4,83 @@ import (
 	"sync"
 
 	"aliaslimit/internal/alias"
+	"aliaslimit/internal/ident"
 )
 
-// Batch is the one-shot analysis backend: Group folds the observations
-// through a pooled merge-as-you-go grouping arena (alias.Grouper — no global
-// (identifier, address) sort is ever materialised), Merge is
-// alias.MergeWith's union-find over a persistent address-interning table.
-// One Batch instance serves a whole analysis session, so repeated merges
-// over overlapping address populations (per-family, per-source, dual-stack
-// unions) reuse one hash index — the mutex serialises them, exactly as the
-// sealed views' per-dataset table used to — and repeated groupings reuse the
-// pooled arenas instead of rebuilding bucket structures per call.
-type Batch struct {
-	mu    sync.Mutex
-	table *alias.AddrTable
-	// groupers recycles grouping arenas across Group calls; concurrent
-	// renders each take their own, so Group never serialises.
+// numProto is the number of identifier protocols sessions index by.
+const numProto = 3
+
+// batchBackend is the one-shot analysis strategy's factory.
+type batchBackend struct{}
+
+// NewBatch returns the batch backend: sessions buffer observations locally,
+// Sets folds them through a pooled merge-as-you-go grouping arena
+// (alias.Grouper — no global (identifier, address) sort is ever
+// materialised), and Merged is alias.MergeWith's union-find over a
+// persistent address-interning table. One session serves a whole analysis
+// run, so repeated merges over overlapping address populations (per-family,
+// per-source, dual-stack unions) reuse one hash index, and repeated
+// groupings reuse the pooled arenas instead of rebuilding bucket structures
+// per call.
+func NewBatch() Backend { return batchBackend{} }
+
+// Name implements Backend.
+func (batchBackend) Name() string { return "batch" }
+
+// Open implements Backend with a fresh interning table and arena pool.
+func (batchBackend) Open(Options) (Session, error) {
+	s := &batchSession{table: alias.NewAddrTable()}
+	s.groupers.New = func() any { return alias.NewGrouper() }
+	return s, nil
+}
+
+// batchSession is one batch resolution state.
+type batchSession struct {
+	// mu guards the per-protocol observation buffers.
+	mu  sync.Mutex
+	obs [numProto][]alias.Observation
+
+	// tableMu serialises merges over the shared interning table, exactly as
+	// the sealed views' per-dataset table used to.
+	tableMu sync.Mutex
+	table   *alias.AddrTable
+
+	// groupers recycles grouping arenas across Sets calls; concurrent
+	// snapshots each take their own, so Sets never serialises on grouping.
 	groupers sync.Pool
 }
 
-// NewBatch returns a batch backend with a fresh interning table.
-func NewBatch() *Batch {
-	b := &Batch{table: alias.NewAddrTable()}
-	b.groupers.New = func() any { return alias.NewGrouper() }
-	return b
+// Observe implements Session by buffering the observation under its
+// protocol; grouping is deferred to Sets.
+func (s *batchSession) Observe(o alias.Observation) {
+	s.mu.Lock()
+	s.obs[o.ID.Proto] = append(s.obs[o.ID.Proto], o)
+	s.mu.Unlock()
 }
 
-// Name implements Backend.
-func (b *Batch) Name() string { return "batch" }
-
-// Fork implements Forker: an independent table and mutex, so concurrent
-// analysis views don't serialise on one instance.
-func (b *Batch) Fork() Backend { return NewBatch() }
-
-// Group implements Backend by streaming the observations through a pooled
-// grouping arena — byte-identical to alias.Group, allocation-free in steady
-// state apart from the returned sets.
-func (b *Batch) Group(obs []alias.Observation) []alias.Set {
-	g := b.groupers.Get().(*alias.Grouper)
+// Sets implements Session by streaming the buffered observations through a
+// pooled grouping arena — byte-identical to alias.Group, allocation-free in
+// steady state apart from the returned sets.
+func (s *batchSession) Sets(p ident.Protocol) []alias.Set {
+	s.mu.Lock()
+	obs := s.obs[p]
+	s.mu.Unlock()
+	g := s.groupers.Get().(*alias.Grouper)
 	g.Reset()
 	for _, o := range obs {
 		g.Observe(o)
 	}
 	sets := g.Sets()
-	b.groupers.Put(g)
+	s.groupers.Put(g)
 	return sets
 }
 
-// Merge implements Backend via alias.MergeWith over the shared table.
-func (b *Batch) Merge(groups ...[]alias.Set) []alias.Set {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return alias.MergeWith(b.table, groups...)
+// Merged implements Session via alias.MergeWith over the shared table.
+func (s *batchSession) Merged(groups ...[]alias.Set) []alias.Set {
+	s.tableMu.Lock()
+	defer s.tableMu.Unlock()
+	return alias.MergeWith(s.table, groups...)
 }
+
+// Close implements Session; a batch session holds no external resources.
+func (s *batchSession) Close() error { return nil }

@@ -12,7 +12,7 @@ import (
 
 // determinismCorpus builds a deterministic observation corpus shaped like a
 // real measurement round: shared identifiers (alias sets), duplicates, both
-// families.
+// families, all three protocols.
 func determinismCorpus(seed uint64, n int) []alias.Observation {
 	rng := xrand.NewSplitMix64(seed)
 	obs := make([]alias.Observation, 0, n)
@@ -33,6 +33,17 @@ func determinismCorpus(seed uint64, n int) []alias.Observation {
 	return obs
 }
 
+// protoObs filters a corpus to one protocol, preserving order.
+func protoObs(obs []alias.Observation, p ident.Protocol) []alias.Observation {
+	var out []alias.Observation
+	for _, o := range obs {
+		if o.ID.Proto == p {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
 // setsEqual asserts byte-identical canonical alias sets.
 func setsEqual(t *testing.T, want, got []alias.Set, label string) {
 	t.Helper()
@@ -48,51 +59,59 @@ func setsEqual(t *testing.T, want, got []alias.Set, label string) {
 
 // TestGroupBackendsMatchSortReference is the cross-layer determinism gate
 // for the merge-as-you-go rewrite: on the same corpus, the retired
-// global-sort implementation (alias.GroupSorted) and every backend's Group —
+// global-sort implementation (alias.GroupSorted) and every session's Sets —
 // batch's pooled arena, streaming's online buckets, sharded at worker counts
-// 1, 2, and 7 — must produce byte-identical alias sets, across two seeds.
-// Run under -race this also exercises the sharded fold's concurrency.
+// 1, 2, and 7 — must produce byte-identical alias sets per protocol, across
+// two seeds. Run under -race this also exercises the sharded fold's
+// concurrency.
 func TestGroupBackendsMatchSortReference(t *testing.T) {
 	for _, seed := range []uint64{5, 91} {
 		obs := determinismCorpus(seed, 5000)
-		want := alias.GroupSorted(obs)
-
-		setsEqual(t, want, NewBatch().Group(obs), fmt.Sprintf("seed %d: batch", seed))
-		setsEqual(t, want, Streaming{}.Group(obs), fmt.Sprintf("seed %d: streaming", seed))
-		for _, workers := range []int{1, 2, 7} {
-			got := Sharded{Workers: workers}.Group(obs)
-			setsEqual(t, want, got, fmt.Sprintf("seed %d: sharded workers=%d", seed, workers))
+		for _, ls := range sessionsUnderTest(t) {
+			for _, o := range obs {
+				ls.sess.Observe(o)
+			}
+			for _, p := range ident.Protocols {
+				want := alias.GroupSorted(protoObs(obs, p))
+				got := ls.sess.Sets(p)
+				setsEqual(t, want, got, fmt.Sprintf("seed %d: %s proto %s", seed, ls.label, p))
+			}
 		}
 	}
 }
 
 // TestMergeBackendsAgreeOnGroupedCorpus closes the loop: the partitions the
-// new group core emits must merge identically through every backend.
+// group core emits must merge identically through every backend's session.
 func TestMergeBackendsAgreeOnGroupedCorpus(t *testing.T) {
 	obs := determinismCorpus(13, 3000)
 	half := len(obs) / 2
 	a, b := alias.Group(obs[:half]), alias.Group(obs[half:])
-	want := NewBatch().Merge(a, b)
-	setsEqual(t, want, Streaming{}.Merge(a, b), "streaming merge")
-	for _, workers := range []int{1, 2, 7} {
-		got := Sharded{Workers: workers}.Merge(a, b)
-		setsEqual(t, want, got, fmt.Sprintf("sharded merge workers=%d", workers))
+	want := alias.Merge(a, b)
+	for _, ls := range sessionsUnderTest(t) {
+		setsEqual(t, want, ls.sess.Merged(a, b), ls.label+" merge")
 	}
 }
 
-// TestBatchGroupPoolReuse hammers one Batch instance from concurrent
+// TestBatchSetsPoolReuse hammers one batch session from concurrent
 // goroutines: pooled arenas must never leak state between calls (run under
 // -race this is also the pool's concurrency proof).
-func TestBatchGroupPoolReuse(t *testing.T) {
-	b := NewBatch()
+func TestBatchSetsPoolReuse(t *testing.T) {
+	s, err := NewBatch().Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
 	obs := determinismCorpus(29, 2000)
-	want := alias.GroupSorted(obs)
+	for _, o := range obs {
+		s.Observe(o)
+	}
+	want := alias.GroupSorted(protoObs(obs, ident.SSH))
 	done := make(chan struct{})
 	for g := 0; g < 4; g++ {
 		go func() {
 			defer func() { done <- struct{}{} }()
 			for i := 0; i < 20; i++ {
-				setsEqual(t, want, b.Group(obs), "concurrent pooled group")
+				setsEqual(t, want, s.Sets(ident.SSH), "concurrent pooled sets")
 			}
 		}()
 	}

@@ -1,106 +1,195 @@
 // Package resolver turns alias resolution into a pluggable backend
 // subsystem: the step that converts protocol identifier observations into
-// alias sets — the paper's contribution — is expressed behind one interface
-// with three interchangeable, byte-identical implementations.
+// alias sets — the paper's contribution — is expressed behind one two-level
+// interface with interchangeable, byte-identical implementations.
 //
 // # Architecture
 //
-// A Backend supplies the two primitives the analysis layer consumes:
+// A Backend is a factory for one resolution strategy; Open yields a Session,
+// the stateful handle every consumer talks to. The Session contract unifies
+// what used to be two APIs — the live collection Sink and the blocking
+// Group/Merge pair — behind four methods:
 //
-//   - Group: cluster (address, identifier) observations into one alias set
-//     per distinct identifier (alias.Group semantics, singletons included).
-//   - Merge: consolidate alias-set partitions from several protocols or data
-//     sources into connected components — any two sets sharing an address
-//     collapse (alias.Merge semantics).
+//   - Observe: consume one identifier observation, online, in any order,
+//     from any number of goroutines. Observations route to their protocol by
+//     the identifier's Proto field.
+//   - Sets: snapshot one protocol's observations into canonical alias sets —
+//     one set per distinct identifier, singletons included (alias.Group
+//     semantics), byte-identical regardless of arrival order.
+//   - Merged: consolidate alias-set partitions into connected components —
+//     any two sets sharing an address collapse (alias.Merge semantics).
+//     Merged is a pure function of its arguments, independent of the
+//     session's observed state.
+//   - Close: release the session's resources and surface any deferred
+//     failure (remote backends accumulate a sticky error; in-process ones
+//     never fail).
 //
-// The three backends differ only in execution strategy, never in output:
+// One contract means one wiring: the scan worker pools feed a Session while
+// sweeps are in flight, the daemon holds a Session per tenant, the sealed
+// analysis views group and merge through a Session — and a backend whose
+// state lives in other processes (internal/distres) plugs into all of them
+// without special cases, which the old blocking interface could not express.
 //
-//   - batch: the memoized single-pass implementation the repository grew up
-//     with — one global (identifier, address) sort per Group, union-find
-//     over a persistent interning table per Merge. The right default for
-//     one-shot analysis over a sealed dataset.
-//   - streaming: incremental structures that consume observations one at a
-//     time, in any order, maintaining membership online — a Stream per
-//     grouping and an incremental union-find (MergeStream) per merge. The
-//     collection pipeline can feed a Sink while zmaplite/zgrab sweeps are
-//     still in flight, so alias sets exist the moment the scan ends, and
-//     the same machinery gives the longitudinal layer its "incremental"
-//     (latest-observation-wins) merge strategy.
+// The in-process backends differ only in execution strategy, never output:
+//
+//   - batch: the memoized single-pass strategy the repository grew up with —
+//     observations buffer locally, Sets folds them through a pooled
+//     merge-as-you-go grouping arena, Merged is a union-find over a
+//     persistent address-interning table. The right default for one-shot
+//     analysis over a sealed dataset.
+//   - streaming: fully online — every Observe lands in its identifier's
+//     sorted bucket immediately (one Stream per protocol), so alias sets
+//     exist the moment the scan ends; Merged feeds an incremental union-find
+//     (MergeStream). The same machinery gives the longitudinal layer its
+//     "incremental" (latest-observation-wins) merge strategy.
 //   - sharded: identifier-space partitioning across worker goroutines with a
-//     deterministic cross-shard merge — the scale-out strategy. Group shards
-//     observations by identifier hash (a group never straddles shards);
-//     Merge runs per-shard union-finds whose partial partitions collapse in
-//     one final cross-shard pass.
+//     deterministic cross-shard merge — the in-process scale-out strategy.
+//     A group never straddles shards because observations route by
+//     identifier hash.
 //
-// Every backend finishes by canonicalising through alias.SortSets, so for
-// identical inputs all three produce byte-identical alias sets at any worker
-// count — the property the scenario matrix asserts on every preset and the
-// per-backend benchmarks price.
+// Out-of-process backends register themselves by name (Register); linking
+// internal/distres adds "distributed", the multi-process incarnation of
+// sharded (worker processes instead of goroutines, the same hash route and
+// merge shape over a binary wire protocol).
+//
+// Every session finishes by canonicalising through alias.SortSets, so for
+// identical inputs all backends produce byte-identical alias sets at any
+// worker count — the property the scenario matrix asserts on every preset
+// and the per-backend benchmarks price.
 package resolver
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 
 	"aliaslimit/internal/alias"
+	"aliaslimit/internal/ident"
 )
 
-// Backend is one alias-resolution strategy. Implementations must be safe for
-// concurrent use by multiple goroutines (the memoized analysis views call
-// them from concurrent renders) and must produce byte-identical output for
-// identical input regardless of internal concurrency.
+// Backend is a factory for one alias-resolution strategy. Implementations
+// must be safe for concurrent use; the sessions they open are independent.
 type Backend interface {
 	// Name is the stable identifier used by CLI flags, reports, and
-	// benchmarks ("batch", "streaming", "sharded").
+	// benchmarks ("batch", "streaming", "sharded", "distributed").
 	Name() string
-	// Group clusters observations into one alias set per distinct
-	// identifier, singletons included — alias.Group semantics.
-	Group(obs []alias.Observation) []alias.Set
-	// Merge consolidates alias-set partitions: any two sets sharing an
-	// address collapse into one — alias.Merge semantics.
-	Merge(groups ...[]alias.Set) []alias.Set
+	// Open starts one resolution session. In-process backends never fail;
+	// remote backends may (worker spawn, connection refused).
+	Open(opts Options) (Session, error)
 }
 
-// LiveFeeder is implemented by backends that can consume observations online
-// while collection is still in flight: the collector installs a fresh Sink
-// per measurement round and feeds it from the scan worker pools.
+// Options tune one session at Open time. The zero value is always valid and
+// selects the backend's defaults.
+type Options struct {
+	// Workers overrides the backend's fan-out for this session — shard
+	// goroutines for sharded, worker processes for distributed; 0 keeps the
+	// count the factory was constructed with. Ignored by backends that do
+	// not fan out.
+	Workers int
+}
+
+// Session is one live resolution state: observations in, canonical alias
+// sets out. Implementations must be safe for concurrent use by multiple
+// goroutines — Observe may race with Observe, and Sets/Merged may interleave
+// with Observe, snapshotting the observations applied so far — and must
+// produce byte-identical output for identical input regardless of arrival
+// order or internal concurrency.
+type Session interface {
+	// Observe consumes one identifier observation; its protocol is
+	// o.ID.Proto. Duplicate (identifier, address) observations collapse.
+	Observe(o alias.Observation)
+	// Sets snapshots one protocol's observations into canonical alias sets,
+	// one per distinct identifier, singletons included — alias.Group
+	// semantics. A failed remote session returns nil (see Close).
+	Sets(p ident.Protocol) []alias.Set
+	// Merged consolidates alias-set partitions: any two sets sharing an
+	// address collapse into one — alias.Merge semantics. Independent of the
+	// session's observed state. A failed remote session returns nil.
+	Merged(groups ...[]alias.Set) []alias.Set
+	// Close releases the session and reports the first error the session
+	// absorbed (nil for the in-process backends). Idempotent.
+	Close() error
+}
+
+// LiveFeeder is implemented by backends whose sessions should be fed
+// observations online during collection: Observe is cheap (constant-time
+// local work), so the scan worker pools stream into the session directly and
+// alias sets exist the moment the sweep ends. Backends without the marker
+// are fed lazily from the sealed dataset at first Sets call.
 type LiveFeeder interface {
-	NewSink() *Sink
+	FeedLive() bool
 }
 
-// Forker is implemented by stateful backends whose instances serialise
-// internally (Batch's interning table and mutex). Fork returns an
-// independent instance so each sealed dataset merges under its own lock
-// instead of contending on one — output is unaffected, only parallelism.
-type Forker interface {
-	Fork() Backend
+// FeedsLive reports whether b wants its sessions fed during collection.
+func FeedsLive(b Backend) bool {
+	f, ok := b.(LiveFeeder)
+	return ok && f.FeedLive()
 }
 
-// Fork returns an independent instance of b when it is stateful, or b itself
-// when it is safe to share.
-func Fork(b Backend) Backend {
-	if f, ok := b.(Forker); ok {
-		return f.Fork()
+// registry holds the backends registered beyond the three built-ins.
+var registry struct {
+	mu        sync.Mutex
+	factories map[string]func(workers int) Backend
+}
+
+// Register installs an out-of-process backend constructor under its flag
+// name; workers is the fan-out bound the caller passed New. Registering a
+// built-in name or registering twice panics — both are wiring bugs.
+func Register(name string, factory func(workers int) Backend) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, b := range builtinNames {
+		if name == b {
+			panic("resolver: Register of built-in backend " + name)
+		}
 	}
-	return b
+	if _, dup := registry.factories[name]; dup {
+		panic("resolver: duplicate Register of backend " + name)
+	}
+	if registry.factories == nil {
+		registry.factories = make(map[string]func(workers int) Backend)
+	}
+	registry.factories[name] = factory
 }
 
-// Names lists the registered backends in canonical (report) order.
-func Names() []string { return []string{"batch", "streaming", "sharded"} }
+// builtinNames is the canonical (report) order of the in-process backends.
+var builtinNames = []string{"batch", "streaming", "sharded"}
 
-// New resolves a backend by name. The empty name selects the batch default;
-// workers bounds the sharded backend's concurrency (0 picks GOMAXPROCS) and
-// is ignored by the others.
+// Names lists the available backends: the built-ins in canonical order, then
+// any registered backends sorted by name. The list depends on what the
+// binary links — "distributed" appears wherever internal/distres does.
+func Names() []string {
+	out := append([]string(nil), builtinNames...)
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	extra := make([]string, 0, len(registry.factories))
+	for name := range registry.factories {
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+// New resolves a backend factory by name. The empty name selects the batch
+// default; workers bounds the fan-out of backends that shard (goroutines for
+// sharded, processes for distributed; 0 picks each backend's default) and is
+// ignored by the others.
 func New(name string, workers int) (Backend, error) {
 	switch name {
 	case "", "batch":
 		return NewBatch(), nil
 	case "streaming":
-		return Streaming{}, nil
+		return NewStreaming(), nil
 	case "sharded":
-		return Sharded{Workers: workers}, nil
-	default:
-		return nil, fmt.Errorf("resolver: unknown backend %q (have: %s)",
-			name, strings.Join(Names(), ", "))
+		return NewSharded(workers), nil
 	}
+	registry.mu.Lock()
+	factory, ok := registry.factories[name]
+	registry.mu.Unlock()
+	if ok {
+		return factory(workers), nil
+	}
+	return nil, fmt.Errorf("resolver: unknown backend %q (have: %s)",
+		name, strings.Join(Names(), ", "))
 }

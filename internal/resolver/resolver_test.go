@@ -59,49 +59,110 @@ func requireSameSets(t *testing.T, label string, want, got []alias.Set) {
 	}
 }
 
-// backendsUnderTest returns one instance per registered backend, including
-// several sharded worker counts.
-func backendsUnderTest() []Backend {
-	return []Backend{
-		NewBatch(),
-		Streaming{},
-		Sharded{Workers: 1},
-		Sharded{Workers: 2},
-		Sharded{Workers: 7},
-	}
+// labelledSession pairs one open session with a test label.
+type labelledSession struct {
+	label string
+	sess  Session
 }
 
-// TestGroupEquivalence: every backend groups the same observations into
-// byte-identical alias sets, at two seeds.
-func TestGroupEquivalence(t *testing.T) {
+// sessionsUnderTest opens one session per in-process backend, including
+// several sharded worker counts.
+func sessionsUnderTest(t *testing.T) []labelledSession {
+	t.Helper()
+	var out []labelledSession
+	add := func(label string, b Backend, opts Options) {
+		s, err := b.Open(opts)
+		if err != nil {
+			t.Fatalf("%s: Open: %v", label, err)
+		}
+		t.Cleanup(func() {
+			if err := s.Close(); err != nil {
+				t.Errorf("%s: Close: %v", label, err)
+			}
+		})
+		out = append(out, labelledSession{label, s})
+	}
+	add("batch", NewBatch(), Options{})
+	add("streaming", NewStreaming(), Options{})
+	for _, w := range []int{1, 2, 7} {
+		add(fmt.Sprintf("sharded-%d", w), NewSharded(w), Options{})
+	}
+	return out
+}
+
+// TestSessionGroupEquivalence: every backend's session groups the same
+// observations into byte-identical alias sets, at two seeds.
+func TestSessionGroupEquivalence(t *testing.T) {
 	for _, seed := range []uint64{1, 9} {
 		obs := corpus(seed, 3000)
 		want := alias.Group(obs)
-		for _, b := range backendsUnderTest() {
-			got := b.Group(obs)
-			requireSameSets(t, fmt.Sprintf("seed %d backend %s", seed, b.Name()), want, got)
+		for _, ls := range sessionsUnderTest(t) {
+			for _, o := range obs {
+				ls.sess.Observe(o)
+			}
+			got := ls.sess.Sets(ident.SSH)
+			requireSameSets(t, fmt.Sprintf("seed %d backend %s", seed, ls.label), want, got)
 		}
 	}
 }
 
-// TestMergeEquivalence: every backend merges the same partitions into
-// byte-identical components, at two seeds.
-func TestMergeEquivalence(t *testing.T) {
+// TestSessionMergeEquivalence: every backend's session merges the same
+// partitions into byte-identical components, at two seeds.
+func TestSessionMergeEquivalence(t *testing.T) {
 	for _, seed := range []uint64{1, 9} {
 		a := alias.Group(corpus(seed, 2000))
 		b2 := alias.Group(corpus(seed+100, 2000))
 		c := alias.Group(corpus(seed+200, 500))
 		want := alias.Merge(a, b2, c)
-		for _, b := range backendsUnderTest() {
-			got := b.Merge(a, b2, c)
-			requireSameSets(t, fmt.Sprintf("seed %d backend %s", seed, b.Name()), want, got)
+		for _, ls := range sessionsUnderTest(t) {
+			got := ls.sess.Merged(a, b2, c)
+			requireSameSets(t, fmt.Sprintf("seed %d backend %s", seed, ls.label), want, got)
+		}
+	}
+}
+
+// TestSessionConcurrentFeed: observations fed from many goroutines in racing
+// order still finalise into the batch partition — the live-collection
+// contract every session implementation must honor.
+func TestSessionConcurrentFeed(t *testing.T) {
+	obs := corpus(3, 4000)
+	want := alias.Group(obs)
+	for _, ls := range sessionsUnderTest(t) {
+		var wg sync.WaitGroup
+		const feeders = 8
+		for f := 0; f < feeders; f++ {
+			wg.Add(1)
+			go func(f int) {
+				defer wg.Done()
+				for i := f; i < len(obs); i += feeders {
+					ls.sess.Observe(obs[i])
+				}
+			}(f)
+		}
+		wg.Wait()
+		requireSameSets(t, ls.label+" concurrent feed", want, ls.sess.Sets(ident.SSH))
+	}
+}
+
+// TestSessionRoutesPerProtocol: observations land in their identifier's
+// protocol, and Sets of an unfed protocol is empty.
+func TestSessionRoutesPerProtocol(t *testing.T) {
+	a := netip.MustParseAddr("10.0.0.1")
+	for _, ls := range sessionsUnderTest(t) {
+		ls.sess.Observe(alias.Observation{Addr: a, ID: ident.Identifier{Proto: ident.SSH, Digest: "x"}})
+		ls.sess.Observe(alias.Observation{Addr: a, ID: ident.Identifier{Proto: ident.BGP, Digest: "y"}})
+		if n := len(ls.sess.Sets(ident.SSH)); n != 1 {
+			t.Fatalf("%s: SSH has %d sets, want 1", ls.label, n)
+		}
+		if n := len(ls.sess.Sets(ident.SNMP)); n != 0 {
+			t.Fatalf("%s: SNMP has %d sets, want 0", ls.label, n)
 		}
 	}
 }
 
 // TestStreamConcurrentFeed: observations fed from many goroutines in racing
 // order still finalise into the batch partition — the live-collection
-// contract.
+// contract of the low-level stream handle.
 func TestStreamConcurrentFeed(t *testing.T) {
 	obs := corpus(3, 4000)
 	want := alias.Group(obs)
@@ -199,35 +260,18 @@ func TestStreamSnapshotDuringFeed(t *testing.T) {
 	requireSameSets(t, "final snapshot", want, st.Sets())
 }
 
-// TestSinkStreamHandle: Sink.Stream exposes the live per-protocol handle the
-// daemon's sessions hold.
-func TestSinkStreamHandle(t *testing.T) {
-	s := NewSink()
-	a := netip.MustParseAddr("10.0.0.9")
-	s.Observe(ident.SSH, alias.Observation{Addr: a, ID: ident.Identifier{Proto: ident.SSH, Digest: "z"}})
-	if got := s.Stream(ident.SSH).Len(); got != 1 {
-		t.Fatalf("SSH stream handle tracks %d identifiers, want 1", got)
+// TestLiveFeeder: the streaming backend volunteers for live collection
+// feeds, the buffering backends do not.
+func TestLiveFeeder(t *testing.T) {
+	if !FeedsLive(NewStreaming()) {
+		t.Fatal("streaming backend must feed live")
 	}
-	if got := s.Stream(ident.BGP).Len(); got != 0 {
-		t.Fatalf("BGP stream handle tracks %d identifiers, want 0", got)
+	if FeedsLive(NewBatch()) || FeedsLive(NewSharded(2)) {
+		t.Fatal("buffering backends must not feed live")
 	}
 }
 
-// TestSinkRoutesPerProtocol: observations land in their protocol's stream.
-func TestSinkRoutesPerProtocol(t *testing.T) {
-	s := NewSink()
-	a := netip.MustParseAddr("10.0.0.1")
-	s.Observe(ident.SSH, alias.Observation{Addr: a, ID: ident.Identifier{Proto: ident.SSH, Digest: "x"}})
-	s.Observe(ident.BGP, alias.Observation{Addr: a, ID: ident.Identifier{Proto: ident.BGP, Digest: "y"}})
-	if n := len(s.Sets(ident.SSH)); n != 1 {
-		t.Fatalf("SSH stream has %d sets, want 1", n)
-	}
-	if n := len(s.Sets(ident.SNMP)); n != 0 {
-		t.Fatalf("SNMP stream has %d sets, want 0", n)
-	}
-}
-
-// TestNewRegistry covers name resolution.
+// TestNewRegistry covers name resolution of the built-in backends.
 func TestNewRegistry(t *testing.T) {
 	for _, name := range append([]string{""}, Names()...) {
 		b, err := New(name, 0)
@@ -244,20 +288,64 @@ func TestNewRegistry(t *testing.T) {
 	if _, err := New("quantum", 0); err == nil {
 		t.Fatal("unknown backend accepted")
 	}
-	if len(Names()) != 3 {
-		t.Fatalf("registry has %d backends, want 3", len(Names()))
+	names := Names()
+	for i, want := range []string{"batch", "streaming", "sharded"} {
+		if i >= len(names) || names[i] != want {
+			t.Fatalf("Names() = %v, want the built-ins %v as prefix", names, builtinNames)
+		}
 	}
 }
 
-// BenchmarkBackendGroup prices each backend's grouping on one synthetic
-// corpus.
+// fakeBackend is a registrable stand-in for an out-of-process backend.
+type fakeBackend struct{ workers int }
+
+func (fakeBackend) Name() string { return "testfake" }
+func (f fakeBackend) Open(Options) (Session, error) {
+	s, _ := batchBackend{}.Open(Options{})
+	return s, nil
+}
+
+// TestRegisterExtendsRegistry: a registered backend resolves by name, lists
+// after the built-ins, and receives the worker bound New was given.
+func TestRegisterExtendsRegistry(t *testing.T) {
+	var gotWorkers int
+	Register("testfake", func(workers int) Backend {
+		gotWorkers = workers
+		return fakeBackend{workers: workers}
+	})
+	b, err := New("testfake", 5)
+	if err != nil {
+		t.Fatalf("New(testfake): %v", err)
+	}
+	if b.Name() != "testfake" || gotWorkers != 5 {
+		t.Fatalf("factory got name %q workers %d, want testfake 5", b.Name(), gotWorkers)
+	}
+	names := Names()
+	if names[len(names)-1] != "testfake" {
+		t.Fatalf("Names() = %v, want registered backend after built-ins", names)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register("testfake", func(int) Backend { return fakeBackend{} })
+}
+
+// BenchmarkBackendGroup prices each backend's session grouping on one
+// synthetic corpus.
 func BenchmarkBackendGroup(b *testing.B) {
 	obs := corpus(1, 20000)
-	for _, be := range []Backend{NewBatch(), Streaming{}, Sharded{}} {
+	for _, be := range []Backend{NewBatch(), NewStreaming(), NewSharded(0)} {
 		b.Run(be.Name(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				be.Group(obs)
+				s, _ := be.Open(Options{})
+				for _, o := range obs {
+					s.Observe(o)
+				}
+				s.Sets(ident.SSH)
+				s.Close()
 			}
 		})
 	}
@@ -268,11 +356,12 @@ func BenchmarkBackendMerge(b *testing.B) {
 	g1 := alias.Group(corpus(1, 10000))
 	g2 := alias.Group(corpus(2, 10000))
 	g3 := alias.Group(corpus(3, 4000))
-	for _, be := range []Backend{NewBatch(), Streaming{}, Sharded{}} {
+	for _, be := range []Backend{NewBatch(), NewStreaming(), NewSharded(0)} {
+		s, _ := be.Open(Options{})
 		b.Run(be.Name(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				be.Merge(g1, g2, g3)
+				s.Merged(g1, g2, g3)
 			}
 		})
 	}

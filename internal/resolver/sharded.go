@@ -5,57 +5,112 @@ import (
 	"sync"
 
 	"aliaslimit/internal/alias"
+	"aliaslimit/internal/ident"
 	"aliaslimit/internal/xrand"
 )
 
-// Sharded partitions the resolution work across worker goroutines with a
-// deterministic cross-shard merge — the scale-out strategy for worlds too
-// large for one core.
-//
-// Group shards the identifier space: observations hash by identifier digest,
-// so a group never straddles shards and each shard's alias.Group runs
-// independently. Merge shards the input partitions: each worker collapses
-// its share with a private union-find (its own interning table), and one
-// final pass merges the partial partitions — union-find closure is
-// associative, so the cross-shard components equal the single-pass ones.
-// Both paths canonicalise through alias.SortSets, making the output
-// byte-identical to the batch backend at any worker count.
-type Sharded struct {
-	// Workers bounds the shard count; 0 picks GOMAXPROCS.
-	Workers int
+// shardedBackend partitions the resolution work across worker goroutines
+// with a deterministic cross-shard merge — the in-process scale-out strategy
+// for worlds too large for one core.
+type shardedBackend struct {
+	// workers bounds the shard count; 0 picks GOMAXPROCS.
+	workers int
 }
+
+// NewSharded returns the sharded backend. Sets shards the identifier space:
+// observations hash by identifier digest, so a group never straddles shards
+// and each shard's grouping arena runs independently. Merged shards the
+// input partitions: each worker collapses its share with a private
+// union-find (its own interning table), and one final pass merges the
+// partial partitions — union-find closure is associative, so the
+// cross-shard components equal the single-pass ones. Both paths canonicalise
+// through alias.SortSets, making the output byte-identical to the batch
+// backend at any worker count. workers bounds the shard count; 0 picks
+// GOMAXPROCS.
+//
+// The distributed backend (internal/distres) is this strategy promoted to
+// worker processes: the same hash route, the same round-robin merge split,
+// the same final cross-shard pass — which is why the two are byte-identical
+// by construction.
+func NewSharded(workers int) Backend { return shardedBackend{workers: workers} }
 
 // Name implements Backend.
-func (Sharded) Name() string { return "sharded" }
+func (shardedBackend) Name() string { return "sharded" }
 
-// workers resolves the shard count.
-func (s Sharded) workers() int {
-	if s.Workers > 0 {
-		return s.Workers
+// Open implements Backend.
+func (b shardedBackend) Open(opts Options) (Session, error) {
+	w := b.workers
+	if opts.Workers > 0 {
+		w = opts.Workers
 	}
-	return runtime.GOMAXPROCS(0)
-}
-
-// Group implements Backend by partitioning observations across the
-// identifier space and folding every shard through its own merge-as-you-go
-// grouping arena concurrently. Observations are routed by a one-pass shard
-// index — the per-shard observation slices the old implementation
-// materialised are gone, as is the global (id, addr) sort inside each shard:
-// every worker streams the observations assigned to it straight into an
-// alias.Grouper.
-func (s Sharded) Group(obs []alias.Observation) []alias.Set {
-	w := s.workers()
-	if w <= 1 || len(obs) < 2 {
-		return alias.Group(obs)
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
 	if w > 256 {
 		w = 256 // route entries are one byte; 256 shards saturate any host
 	}
-	// Route pass: one byte per observation instead of w grown slices. A
-	// group never straddles shards because the route key is the identifier.
+	return &shardedSession{workers: w}, nil
+}
+
+// shardedSession is one sharded resolution state: observations buffer
+// locally (like batch), and the fan-out happens inside Sets and Merged.
+type shardedSession struct {
+	workers int
+
+	mu  sync.Mutex
+	obs [numProto][]alias.Observation
+}
+
+// Observe implements Session by buffering the observation under its
+// protocol; sharding is deferred to Sets.
+func (s *shardedSession) Observe(o alias.Observation) {
+	s.mu.Lock()
+	s.obs[o.ID.Proto] = append(s.obs[o.ID.Proto], o)
+	s.mu.Unlock()
+}
+
+// Sets implements Session by partitioning the protocol's observations
+// across the identifier space and folding every shard through its own
+// merge-as-you-go grouping arena concurrently.
+func (s *shardedSession) Sets(p ident.Protocol) []alias.Set {
+	s.mu.Lock()
+	obs := s.obs[p]
+	s.mu.Unlock()
+	return shardGroup(obs, s.workers)
+}
+
+// Merged implements Session by collapsing shard-local partitions in parallel
+// and merging the partial results in one final cross-shard pass.
+func (s *shardedSession) Merged(groups ...[]alias.Set) []alias.Set {
+	return shardMerge(s.workers, groups...)
+}
+
+// Close implements Session; a sharded session holds no external resources.
+func (s *shardedSession) Close() error { return nil }
+
+// ShardRoute returns the shard index in [0, workers) an observation's
+// identifier routes to. It is the one shard map every scaled-out backend
+// shares — sharded's goroutines and distres's worker processes route with
+// the same function, which is what makes their outputs byte-identical to
+// batch: a group never straddles shards, so concatenating per-shard
+// canonical sets and sorting equals the single-arena grouping.
+func ShardRoute(id ident.Identifier, workers int) int {
+	return int(xrand.Hash64(id.Digest) % uint64(workers))
+}
+
+// shardGroup is the sharded grouping core. Observations are routed by a
+// one-pass shard index — one byte per observation instead of per-shard grown
+// slices, and no global (id, addr) sort inside any shard: every worker
+// streams the observations assigned to it straight into an alias.Grouper.
+func shardGroup(obs []alias.Observation, w int) []alias.Set {
+	if w <= 1 || len(obs) < 2 {
+		return alias.Group(obs)
+	}
+	// Route pass: a group never straddles shards because the route key is
+	// the identifier.
 	route := make([]uint8, len(obs))
 	for i, o := range obs {
-		route[i] = uint8(xrand.Hash64(o.ID.Digest) % uint64(w))
+		route[i] = uint8(ShardRoute(o.ID, w))
 	}
 	partials := make([][]alias.Set, w)
 	var wg sync.WaitGroup
@@ -86,11 +141,10 @@ func (s Sharded) Group(obs []alias.Observation) []alias.Set {
 	return out
 }
 
-// Merge implements Backend by collapsing shard-local partitions in parallel
-// and merging the partial results in one final cross-shard pass.
-func (s Sharded) Merge(groups ...[]alias.Set) []alias.Set {
-	w := s.workers()
-	// Flatten so the shards balance even when one protocol dominates.
+// shardMerge is the sharded merge core: flatten so the shards balance even
+// when one protocol dominates, split round-robin, collapse each shard with a
+// private union-find, then merge the partial partitions in one final pass.
+func shardMerge(w int, groups ...[]alias.Set) []alias.Set {
 	var sets []alias.Set
 	for _, g := range groups {
 		sets = append(sets, g...)

@@ -9,31 +9,58 @@ import (
 	"aliaslimit/internal/ident"
 )
 
-// Streaming resolves aliases incrementally: observations are consumed one at
-// a time, in whatever order the scan pipeline emits them, and alias-set
-// membership is maintained online. Group replays the input through a Stream;
-// Merge feeds the partitions through an incremental union-find (MergeStream).
-// Finalisation canonicalises through alias.SortSets, so the output is
-// byte-identical to the batch backend's for the same input — the structures
-// are order-insensitive even though consumption is not.
-type Streaming struct{}
+// streamingBackend is the fully online strategy's factory.
+type streamingBackend struct{}
+
+// NewStreaming returns the streaming backend: sessions consume observations
+// one at a time, in whatever order the scan pipeline emits them, and
+// maintain alias-set membership online — one Stream per protocol, an
+// incremental union-find (MergeStream) per merge. Finalisation
+// canonicalises through alias.SortSets, so the output is byte-identical to
+// the batch backend's for the same input — the structures are
+// order-insensitive even though consumption is not.
+func NewStreaming() Backend { return streamingBackend{} }
 
 // Name implements Backend.
-func (Streaming) Name() string { return "streaming" }
+func (streamingBackend) Name() string { return "streaming" }
 
-// Group implements Backend by streaming the observations through an online
-// grouping structure.
-func (Streaming) Group(obs []alias.Observation) []alias.Set {
-	st := NewStream()
-	for _, o := range obs {
-		st.Observe(o)
+// Open implements Backend with one live stream per protocol.
+func (streamingBackend) Open(Options) (Session, error) {
+	s := &streamingSession{}
+	for i := range s.streams {
+		s.streams[i] = NewStream()
 	}
-	return st.Sets()
+	return s, nil
 }
 
-// Merge implements Backend by absorbing each partition into an incremental
-// union-find.
-func (Streaming) Merge(groups ...[]alias.Set) []alias.Set {
+// FeedLive implements LiveFeeder: Observe lands the observation in its
+// sorted bucket immediately, so collection feeds sessions online and alias
+// sets exist the moment the scan ends.
+func (streamingBackend) FeedLive() bool { return true }
+
+// streamingSession is one online resolution state: a live grouping stream
+// per protocol. It is session-safe — Sets snapshots may interleave with
+// Observe, which is exactly the point-in-time view a long-running resolution
+// service hands to queries arriving mid-ingest.
+type streamingSession struct {
+	// streams is indexed by ident.Protocol (SSH, BGP, SNMP).
+	streams [numProto]*Stream
+}
+
+// Observe implements Session by landing the observation in its protocol's
+// live stream. Safe for concurrent use.
+func (s *streamingSession) Observe(o alias.Observation) {
+	s.streams[o.ID.Proto].Observe(o)
+}
+
+// Sets implements Session by snapshotting one protocol's stream.
+func (s *streamingSession) Sets(p ident.Protocol) []alias.Set {
+	return s.streams[p].Sets()
+}
+
+// Merged implements Session by absorbing each partition into a fresh
+// incremental union-find.
+func (s *streamingSession) Merged(groups ...[]alias.Set) []alias.Set {
 	ms := NewMergeStream()
 	for _, g := range groups {
 		ms.Absorb(g)
@@ -41,8 +68,14 @@ func (Streaming) Merge(groups ...[]alias.Set) []alias.Set {
 	return ms.Sets()
 }
 
-// NewSink returns a live collection sink for this backend.
-func (Streaming) NewSink() *Sink { return NewSink() }
+// Close implements Session; a streaming session holds no external resources.
+func (s *streamingSession) Close() error { return nil }
+
+// Stream returns one protocol's live grouping handle — the session-safe
+// structure tests and the longitudinal layer inspect directly.
+func (s *streamingSession) Stream(p ident.Protocol) *Stream {
+	return s.streams[p]
+}
 
 // Stream maintains identifier groups online: every Observe call lands the
 // observation in its identifier's sorted bucket immediately (the same
@@ -212,41 +245,4 @@ func (l *LatestStream) Sets() []alias.Set {
 	}
 	l.mu.Unlock()
 	return alias.Group(obs)
-}
-
-// Sink adapts one Stream per protocol for the collection pipeline and the
-// resolution daemon: scan worker pools (or HTTP ingest workers) call Observe
-// concurrently as identifiers are extracted, so by the time collection
-// returns — or whenever a live query lands — every protocol's alias sets are
-// already grouped. It satisfies experiments.ObservationSink, and like its
-// streams it is session-safe: Sets snapshots may interleave with Observe.
-type Sink struct {
-	// streams is indexed by ident.Protocol (SSH, BGP, SNMP).
-	streams [3]*Stream
-}
-
-// NewSink returns a sink with one live stream per protocol.
-func NewSink() *Sink {
-	s := &Sink{}
-	for i := range s.streams {
-		s.streams[i] = NewStream()
-	}
-	return s
-}
-
-// Observe lands one observation in the protocol's live stream. Safe for
-// concurrent use.
-func (s *Sink) Observe(p ident.Protocol, o alias.Observation) {
-	s.streams[p].Observe(o)
-}
-
-// Sets snapshots one protocol's stream into canonical alias sets.
-func (s *Sink) Sets(p ident.Protocol) []alias.Set {
-	return s.streams[p].Sets()
-}
-
-// Stream exposes one protocol's live grouping handle — the session-safe
-// structure a long-running service holds per tenant.
-func (s *Sink) Stream(p ident.Protocol) *Stream {
-	return s.streams[p]
 }

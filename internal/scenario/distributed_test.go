@@ -1,0 +1,44 @@
+package scenario_test
+
+import (
+	"fmt"
+	"testing"
+
+	"aliaslimit/internal/scenario"
+)
+
+// TestDistributedDigestMatchesBatch is the end-to-end cross-process
+// determinism gate at the preset level: the full pipeline on a coordinator
+// plus real worker processes must reproduce the batch backend's
+// sets_digest exactly, at more than one fleet width. The exhaustive
+// worker-count × seed matrix (1/2/7 × two seeds) lives at the session
+// level in internal/distres, where a run is cheap; here one preset run per
+// width keeps the suite inside the CI race-budget while still driving the
+// wire protocol through the whole collect→resolve→score pipeline. The
+// equivalence property tests in backend_test.go and the CI
+// distributed-compare job cover the remaining presets and seeds.
+func TestDistributedDigestMatchesBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	ref, err := scenario.Run("baseline", scenario.Options{Quick: true, Seed: 1, Backend: "batch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 7} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			res, err := scenario.Run("baseline", scenario.Options{
+				Quick: true, Seed: 1,
+				Backend: "distributed", ShardWorkers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.SetsDigest != ref.SetsDigest {
+				part := scenario.FirstDivergence(ref.PartitionDigests, res.PartitionDigests)
+				t.Fatalf("distributed digest %s != batch %s (first divergence: %s)",
+					res.SetsDigest, ref.SetsDigest, part)
+			}
+		})
+	}
+}

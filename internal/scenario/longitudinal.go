@@ -179,16 +179,17 @@ func runLongitudinalPreset(p Preset, opts LongitudinalOptions) (*LongitudinalRes
 // already-committed epochs from the observation log and then drive the very
 // same loop for the remaining live epochs.
 type longRun struct {
-	p      Preset
-	cfg    topo.Config
-	quick  bool
-	n      int
-	decay  float64
-	series *experiments.EnvSeries
-	log    *obslog.Writer
-	logDir string
-	out    *LongitudinalResult
-	views  []*epochView
+	p       Preset
+	cfg     topo.Config
+	quick   bool
+	n       int
+	decay   float64
+	series  *experiments.EnvSeries
+	backend resolver.Backend
+	log     *obslog.Writer
+	logDir  string
+	out     *LongitudinalResult
+	views   []*epochView
 	// finalTruth is the ground truth at the last consumed epoch's scan time.
 	finalTruth *topo.Truth
 	// pending carries scorecards computed inside the epoch-checkpoint hook
@@ -227,6 +228,7 @@ func newLongRun(p Preset, opts LongitudinalOptions, resumeLog *obslog.Writer) (*
 		quick:   quick,
 		n:       n,
 		decay:   decay,
+		backend: eopts.Backend,
 		logDir:  opts.LogDir,
 		pending: make(map[int]*EpochScore),
 		out: &LongitudinalResult{
@@ -314,6 +316,12 @@ func (r *longRun) runEpoch() error {
 	r.out.Epochs = append(r.out.Epochs, es)
 	r.views = append(r.views, newEpochView(ep.Env))
 	r.finalTruth = ep.Truth
+	// The view captured everything the cross-epoch metrics read, so the
+	// epoch's resolver sessions can go; closing surfaces a distributed
+	// session's sticky worker error before the next epoch builds on it.
+	if err := ep.Env.Close(); err != nil {
+		return fmt.Errorf("scenario %s epoch %d: %w", r.p.Name, e, err)
+	}
 	return nil
 }
 
@@ -331,10 +339,14 @@ func (r *longRun) finish() *LongitudinalResult {
 	return out
 }
 
-// close releases the observation log, if any.
+// close releases the observation log, if any, and the resolver backend (the
+// distributed backend stops its worker processes here).
 func (r *longRun) close() {
 	if r.log != nil {
 		r.log.Close()
+	}
+	if r.backend != nil {
+		closeBackend(r.backend)
 	}
 }
 
@@ -570,13 +582,12 @@ func incremental(views []*epochView) []alias.Set {
 		perProto[i] = ls.Sets()
 	}
 	var merged []alias.Set
-	streaming := resolver.Streaming{}
 	for _, v4 := range []bool{true, false} {
-		var inputs [][]alias.Set
+		ms := resolver.NewMergeStream()
 		for _, sets := range perProto {
-			inputs = append(inputs, alias.NonSingleton(alias.FilterFamily(sets, v4)))
+			ms.Absorb(alias.NonSingleton(alias.FilterFamily(sets, v4)))
 		}
-		merged = append(merged, alias.NonSingleton(streaming.Merge(inputs...))...)
+		merged = append(merged, alias.NonSingleton(ms.Sets())...)
 	}
 	return merged
 }

@@ -76,7 +76,7 @@ func loadEpochScore(dir string, epoch int) (*EpochScore, error) {
 // ResumeLongitudinal continues the durable longitudinal run under dir. The
 // run's identity — preset, seed, scale, quick, backend, epochs, decay — comes
 // from the log's manifest; opts contributes only the execution knobs that
-// cannot change results (Workers, Parallelism). Epochs the log holds are
+// cannot change results (Workers, Parallelism, ShardWorkers). Epochs the log holds are
 // replayed and verified, remaining epochs run live, and the assembled
 // LongitudinalResult is identical (MIDAR tallies of post-crash epochs aside)
 // to what the uninterrupted run would have returned.
@@ -101,12 +101,13 @@ func ResumeLongitudinal(dir string, opts Options) (*LongitudinalResult, error) {
 	// config — and the same MIDAR sampling — as the original invocation.
 	ropts := LongitudinalOptions{
 		Options: Options{
-			Seed:        meta.Seed,
-			Quick:       meta.Quick,
-			Workers:     opts.Workers,
-			Parallelism: opts.Parallelism,
-			Backend:     meta.Backend,
-			LogDir:      dir,
+			Seed:         meta.Seed,
+			Quick:        meta.Quick,
+			Workers:      opts.Workers,
+			Parallelism:  opts.Parallelism,
+			Backend:      meta.Backend,
+			ShardWorkers: opts.ShardWorkers,
+			LogDir:       dir,
 		},
 		Epochs: meta.Epochs,
 		Decay:  meta.Decay,
@@ -163,7 +164,11 @@ func ResumeLongitudinal(dir string, opts Options) (*LongitudinalResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("scenario: replaying epoch %d: %w", e, err)
 		}
-		env := experiments.ReplayEnv(snap, backend)
+		env, err := experiments.ReplayEnv(snap, backend)
+		if err != nil {
+			closeBackend(backend)
+			return nil, fmt.Errorf("scenario: replaying epoch %d: %w", e, err)
+		}
 		digest, _ := DigestPartitions(ScoredPartitions(env))
 		if digest != rec.SetsDigest {
 			return nil, fmt.Errorf("scenario: log replay of epoch %d diverged "+
@@ -179,6 +184,11 @@ func ResumeLongitudinal(dir string, opts Options) (*LongitudinalResult, error) {
 		}
 		r.out.Epochs = append(r.out.Epochs, es)
 		r.views = append(r.views, newEpochView(env))
+		if err := env.Close(); err != nil {
+			closeBackend(backend)
+			return nil, fmt.Errorf("scenario: replaying epoch %d: %w", e, err)
+		}
+		closeBackend(backend)
 	}
 	if done == r.n {
 		// Fully committed run: after the last skipped epoch the world's truth

@@ -18,10 +18,12 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/netip"
 	"strings"
 
 	"aliaslimit/internal/alias"
+	_ "aliaslimit/internal/distres" // registers the "distributed" backend
 	"aliaslimit/internal/evaluate"
 	"aliaslimit/internal/experiments"
 	"aliaslimit/internal/ident"
@@ -41,12 +43,17 @@ type Options struct {
 	Quick bool
 	// Workers / Parallelism tune collection exactly as aliaslimit.Options.
 	Workers, Parallelism int
-	// Backend names the resolver strategy ("batch", "streaming", "sharded";
-	// empty picks batch). Every backend yields byte-identical alias sets —
-	// the Result's SetsDigest proves it — differing only in execution
-	// strategy, which is exactly what the backend dimension of the scenario
-	// matrix compares.
+	// Backend names the resolver strategy ("batch", "streaming", "sharded",
+	// "distributed"; empty picks batch). Every backend yields byte-identical
+	// alias sets — the Result's SetsDigest proves it — differing only in
+	// execution strategy, which is exactly what the backend dimension of the
+	// scenario matrix compares. The distributed backend runs real shard
+	// worker processes (see internal/distres), which this package links in.
 	Backend string
+	// ShardWorkers sizes the scaled-out backends: goroutines for "sharded"
+	// (0 tracks GOMAXPROCS), worker processes for "distributed" (0 picks
+	// distres.DefaultWorkers). Ignored by batch and streaming.
+	ShardWorkers int
 	// LogDir, when set, makes the run durable: every observation is teed
 	// into the append-only binary log under this directory during
 	// collection, and every epoch boundary commits a checkpoint (manifest
@@ -210,9 +217,9 @@ func resolveConfig(p Preset, opts Options) (cfg topo.Config, quick bool) {
 // envOptions assembles the experiments options for a resolved preset world,
 // including the named resolver backend.
 func envOptions(p Preset, cfg topo.Config, opts Options) (experiments.Options, error) {
-	// Shard count 0 lets the sharded backend track GOMAXPROCS; Workers here
-	// tunes scan concurrency, not resolution.
-	backend, err := resolver.New(opts.Backend, 0)
+	// ShardWorkers sizes resolution fan-out (goroutines or worker
+	// processes); Workers tunes scan concurrency, not resolution.
+	backend, err := resolver.New(opts.Backend, opts.ShardWorkers)
 	if err != nil {
 		return experiments.Options{}, err
 	}
@@ -257,11 +264,28 @@ func runPreset(p Preset, opts Options) (*Result, error) {
 			return d, nil
 		}
 	}
+	defer closeBackend(eopts.Backend)
 	env, err := experiments.BuildEnv(eopts)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", p.Name, err)
 	}
-	return score(p, cfg, quick, env, env.World.Truth), nil
+	res := score(p, cfg, quick, env, env.World.Truth)
+	// Closing surfaces a distributed session's sticky worker error: a run
+	// that lost a shard worker fails here instead of shipping a partial
+	// scorecard.
+	if err := env.Close(); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", p.Name, err)
+	}
+	return res, nil
+}
+
+// closeBackend releases a backend that holds external resources (the
+// distributed backend's worker processes); the in-process backends close to
+// a no-op.
+func closeBackend(b resolver.Backend) {
+	if c, ok := b.(io.Closer); ok {
+		c.Close()
+	}
 }
 
 // score assembles the Result from a measured environment, judged against the
