@@ -105,6 +105,17 @@ type Common struct {
 	// directory. Run does not support durable logging and rejects a
 	// non-empty LogDir.
 	LogDir string
+	// StreamCollect selects the out-of-core collection path: scan workers
+	// spill observations straight to an on-disk observation log and the
+	// analyses replay them in bounded batches, so peak memory is
+	// O(alias-set output), not O(observations). Alias sets, tables, and
+	// scorecards are byte-identical to the in-RAM path. Dataset.Obs is
+	// empty in this mode; iterate through Dataset.EachObs or the derived
+	// views instead.
+	StreamCollect bool
+	// MemBudget, consulted only with StreamCollect, advises the replay
+	// readahead in bytes; 0 picks the default. It cannot change results.
+	MemBudget int64
 }
 
 // StudyOptions configure Run.
@@ -157,6 +168,8 @@ func Run(opts StudyOptions) (*Study, error) {
 		},
 		ChurnFraction: opts.ChurnFraction,
 		Backend:       backend,
+		StreamCollect: opts.StreamCollect,
+		MemBudget:     opts.MemBudget,
 	})
 	if err != nil {
 		closeBackend(backend)
@@ -389,14 +402,16 @@ type ScenarioOptions struct {
 // internal converts the facade options into the scenario engine's type.
 func (o ScenarioOptions) internal() scenario.Options {
 	return scenario.Options{
-		Seed:         o.Seed,
-		Scale:        o.Scale,
-		Quick:        o.Quick,
-		Workers:      o.Workers,
-		Parallelism:  o.Parallelism,
-		Backend:      o.Backend,
-		ShardWorkers: o.ShardWorkers,
-		LogDir:       o.LogDir,
+		Seed:          o.Seed,
+		Scale:         o.Scale,
+		Quick:         o.Quick,
+		Workers:       o.Workers,
+		Parallelism:   o.Parallelism,
+		Backend:       o.Backend,
+		ShardWorkers:  o.ShardWorkers,
+		LogDir:        o.LogDir,
+		StreamCollect: o.StreamCollect,
+		MemBudget:     o.MemBudget,
 	}
 }
 

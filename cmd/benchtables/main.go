@@ -111,6 +111,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	parallelism := fs.Int("parallelism", 0, "concurrent protocol sweeps (0 = all at once, 1 = sequential)")
 	backend := fs.String("backend", "", "resolver backend: batch|streaming|sharded|distributed (default batch)")
 	shardWorkers := fs.Int("shard-workers", 0, "shard fan-out: goroutines for -backend sharded, worker processes for -backend distributed (0 = each backend's default)")
+	streamCollect := fs.Bool("stream-collect", false, "out-of-core collection: spill observations to disk during the scan and replay them in bounded batches — identical tables, peak memory O(alias-set output) instead of O(observations)")
+	memBudget := fs.Int64("mem-budget", 0, "advisory memory budget in bytes for the -stream-collect replay (sizes the log readahead; 0 = default)")
 	table := fs.String("table", "", "regenerate a single table (1-6)")
 	figure := fs.String("figure", "", "regenerate a single figure (3-6)")
 	extensions := fs.Bool("extensions", false, "also run the future-work extension experiments")
@@ -131,6 +133,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// typo must fail in milliseconds, not after the collection phase.
 	if err := validateBackend(*backend); err != nil {
 		fmt.Fprintf(stderr, "benchtables: %v\n", err)
+		return errBadFlags
+	}
+	if *memBudget != 0 && !*streamCollect {
+		fmt.Fprintln(stderr, "benchtables: -mem-budget tunes the out-of-core replay; pass -stream-collect too")
+		return errBadFlags
+	}
+	if *streamCollect && (*benchJSON != "" || *compare != "" || *against != "") {
+		// The bench harness measures the streamed path itself (the
+		// stream_collect and stream_replay_group entries); the flag shapes
+		// table/figure study runs only.
+		fmt.Fprintln(stderr, "benchtables: -stream-collect shapes study runs; the bench harness measures the streamed path on its own")
 		return errBadFlags
 	}
 
@@ -157,6 +170,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Common: aliaslimit.Common{
 			Seed: *seed, Scale: *scale, Workers: *workers, Parallelism: *parallelism,
 			Backend: *backend, ShardWorkers: *shardWorkers,
+			StreamCollect: *streamCollect, MemBudget: *memBudget,
 		},
 	})
 	if err != nil {

@@ -63,6 +63,7 @@ func TestRunBenchJSON(t *testing.T) {
 		"run_full": false, "render_all_cold": false, "render_all_warm": false,
 		"grouping_union_ssh": false, "merge_union_v4": false,
 		"obslog_append": false, "obslog_replay": false,
+		"stream_collect": false, "stream_replay_group": false,
 		"table3_render": false, "figure6_render": false,
 		"resolve_batch_group": false, "resolve_batch_merge": false,
 		"resolve_streaming_group": false, "resolve_streaming_merge": false,
@@ -130,5 +131,30 @@ func TestBackendValidationMessage(t *testing.T) {
 		"bogus", strings.Join(aliaslimit.BackendNames(), ", "))
 	if stderr.String() != want {
 		t.Fatalf("stderr = %q, want %q", stderr.String(), want)
+	}
+}
+
+// TestStreamCollectFlagCombos pins the out-of-core flag contract: -mem-budget
+// needs -stream-collect, and -stream-collect shapes study runs only — the
+// bench harness measures the streamed path through its own entries, so
+// combining the flag with -benchjson or the compare gate is rejected.
+func TestStreamCollectFlagCombos(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-mem-budget", "1048576", "-table", "1"}, &stdout, &stderr); !errors.Is(err, errBadFlags) {
+		t.Fatalf("-mem-budget without -stream-collect: want errBadFlags, got %v", err)
+	}
+	if !strings.Contains(stderr.String(), "-stream-collect") {
+		t.Errorf("rejection does not name the missing flag: %s", stderr.String())
+	}
+	for _, extra := range [][]string{
+		{"-benchjson", "-"},
+		{"-compare", "x.json"},
+		{"-against", "x.json"},
+	} {
+		stderr.Reset()
+		args := append([]string{"-stream-collect"}, extra...)
+		if err := run(args, &stdout, &stderr); !errors.Is(err, errBadFlags) {
+			t.Fatalf("-stream-collect with %v: want errBadFlags, got %v", extra, err)
+		}
 	}
 }

@@ -14,6 +14,9 @@
 //	scenarios -run churn-storm -epochs 5 -log RUN  # durable: observation log +
 //	                                         # per-epoch checkpoints under RUN/
 //	scenarios -resume RUN                    # continue a killed durable run
+//	scenarios -run megascale-x100 -stream-collect  # out-of-core collection:
+//	                                         # scan→disk→replayed grouping,
+//	                                         # bounded memory at any scale
 //	scenarios -run baseline -sweep loss=1,5,10,20,30 -json SWEEP-loss.json
 //	scenarios -run churn-storm -sweep decay=30,50,70,90 -json SWEEP-decay.json
 //	scenarios -merge 'SCENARIOS-*.json' -json SCENARIOS.json
@@ -80,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	decay := fs.Float64("decay", 0, "decay factor for the longitudinal decay-weighted merge (0 = default 0.5)")
 	backend := fs.String("backend", "", "resolver backend: batch|streaming|sharded|distributed (default batch), or 'all' to run every backend and require byte-identical alias sets")
 	shardWorkers := fs.Int("shard-workers", 0, "shard fan-out: goroutines for the sharded backend, worker processes for the distributed backend (0 = each backend's default)")
+	streamCollect := fs.Bool("stream-collect", false, "out-of-core collection: spill observations to disk during the scan and replay them through the resolver in bounded batches — identical alias sets, peak memory O(alias-set output) instead of O(observations); required by stream-only worlds (megascale-x100)")
+	memBudget := fs.Int64("mem-budget", 0, "advisory memory budget in bytes for the -stream-collect replay (sizes the log readahead; 0 = default)")
 	logDir := fs.String("log", "", "write a durable observation log + epoch checkpoints under this directory (single preset, single backend); a killed run continues with -resume")
 	resume := fs.String("resume", "", "continue the killed durable run whose log lives under this directory")
 	sweep := fs.String("sweep", "", "axis sweep, e.g. loss=1,5,10,20,30 (percent) or epochs=2,3,5; runs the -run preset per value")
@@ -100,6 +105,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "scenarios: %v\n", err)
 		return errBadFlags
 	}
+	if *memBudget != 0 && !*streamCollect {
+		fmt.Fprintln(stderr, "scenarios: -mem-budget tunes the out-of-core replay; pass -stream-collect too")
+		return errBadFlags
+	}
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -108,14 +117,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	defer stopProfiles()
 
 	opts := scenario.Options{
-		Seed:         *seed,
-		Scale:        *scale,
-		Quick:        *quick,
-		Workers:      *workers,
-		Parallelism:  *parallelism,
-		Backend:      *backend,
-		ShardWorkers: *shardWorkers,
-		LogDir:       *logDir,
+		Seed:          *seed,
+		Scale:         *scale,
+		Quick:         *quick,
+		Workers:       *workers,
+		Parallelism:   *parallelism,
+		Backend:       *backend,
+		ShardWorkers:  *shardWorkers,
+		LogDir:        *logDir,
+		StreamCollect: *streamCollect,
+		MemBudget:     *memBudget,
 	}
 	if *logDir != "" {
 		// A durable log records exactly one run: multi-run modes would
@@ -237,7 +248,16 @@ func printCatalog(w io.Writer) error {
 func runScenarios(name string, opts scenario.Options, backends []string, jsonPath string, stdout, stderr io.Writer) error {
 	names := []string{name}
 	if name == "all" {
-		names = scenario.Names()
+		// Stream-only worlds refuse to materialise in RAM, so a catalog run
+		// without -stream-collect skips them (loudly) instead of failing.
+		names = names[:0]
+		for _, p := range scenario.Presets() {
+			if p.StreamOnly && !opts.StreamCollect {
+				fmt.Fprintf(stderr, "scenarios: skipping %s (stream-only world; add -stream-collect to include it)\n", p.Name)
+				continue
+			}
+			names = append(names, p.Name)
+		}
 	}
 	rep := &scenario.Report{}
 	for _, n := range names {

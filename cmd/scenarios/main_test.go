@@ -650,6 +650,114 @@ func TestCICrashResumeJob(t *testing.T) {
 	}
 }
 
+// TestCIBoundedMemoryJob pins the CI out-of-core memory gate: the workflow
+// must run the harness script, which builds a real binary, runs the streamed
+// collection under a GOMEMLIMIT the in-RAM path cannot satisfy, diffs the
+// sets digest against an unrestricted in-RAM run, and drives the stream-only
+// megascale-x100 world end to end.
+func TestCIBoundedMemoryJob(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", ".github", "workflows", "ci.yml"))
+	if err != nil {
+		t.Skipf("ci.yml not readable: %v", err)
+	}
+	text := string(data)
+	idx := strings.Index(text, "bounded-memory:")
+	if idx < 0 {
+		t.Fatal("ci.yml has no bounded-memory job")
+	}
+	job := text[idx:]
+	if end := strings.Index(job, "\n  log-diff:"); end >= 0 {
+		job = job[:end]
+	}
+	for _, want := range []string{"scripts/bounded-memory.sh", "UNRESTRICTED.json", "STREAMED.json"} {
+		if !strings.Contains(job, want) {
+			t.Errorf("bounded-memory job missing %q", want)
+		}
+	}
+	script, err := os.ReadFile(filepath.Join("..", "..", "scripts", "bounded-memory.sh"))
+	if err != nil {
+		t.Fatalf("bounded-memory job's script missing: %v", err)
+	}
+	for _, want := range []string{
+		"go build -o", "GOMEMLIMIT", "-run megascale-x10 -quick -stream-collect",
+		"-backend streaming", "-run megascale-x100 -quick -stream-collect",
+		"sets_digest", "diff",
+	} {
+		if !strings.Contains(string(script), want) {
+			t.Errorf("bounded-memory.sh missing %q", want)
+		}
+	}
+	// The scenario matrix's stream-only leg must carry its flag, and the run
+	// step must thread it through.
+	if !strings.Contains(text, "flags: -stream-collect") {
+		t.Error("ci.yml scenario matrix does not give megascale-x100 its -stream-collect flag")
+	}
+	if !strings.Contains(text, "${{ matrix.flags }}") {
+		t.Error("ci.yml scenario matrix run step does not thread matrix.flags")
+	}
+}
+
+// TestStreamCollectFlagCombos pins the out-of-core CLI contract: -mem-budget
+// is meaningless without -stream-collect, and a stream-only preset refuses an
+// in-RAM run with an error naming the missing flag.
+func TestStreamCollectFlagCombos(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-run", "baseline", "-mem-budget", "1048576"}, &stdout, &stderr); !errors.Is(err, errBadFlags) {
+		t.Fatalf("-mem-budget without -stream-collect: want errBadFlags, got %v", err)
+	}
+	if !strings.Contains(stderr.String(), "-stream-collect") {
+		t.Errorf("rejection does not name the missing flag: %s", stderr.String())
+	}
+	err := run([]string{"-run", "megascale-x100", "-scale", "0.04", "-workers", "16"}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("in-RAM megascale-x100 accepted")
+	}
+	if !strings.Contains(err.Error(), "-stream-collect") {
+		t.Fatalf("stream-only refusal does not name -stream-collect: %v", err)
+	}
+}
+
+// TestRunAllSkipsStreamOnly: a catalog run without -stream-collect must skip
+// the stream-only worlds loudly and still succeed, keeping the CI jobs that
+// sweep the catalog in-RAM (backend-compare, distributed-compare) green; with
+// the flag, the same invocation covers them.
+func TestRunAllSkipsStreamOnly(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-run", "all", "-scale", "0.04", "-workers", "16", "-json", "-"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run all: %v (stderr: %s)", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "skipping megascale-x100") {
+		t.Errorf("catalog run did not announce the stream-only skip:\n%s", stderr.String())
+	}
+	rep, err := scenario.ParseReport(stdout.Bytes())
+	if err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	for _, r := range rep.Scenarios {
+		if r.Scenario == "megascale-x100" {
+			t.Fatal("stream-only preset ran without -stream-collect")
+		}
+	}
+	if want := len(scenario.Names()) - 1; len(rep.Scenarios) != want {
+		t.Errorf("catalog run covered %d presets, want %d", len(rep.Scenarios), want)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	err = run([]string{"-run", "all", "-scale", "0.04", "-workers", "16", "-stream-collect", "-json", "-"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run all -stream-collect: %v (stderr: %s)", err, stderr.String())
+	}
+	rep, err = scenario.ParseReport(stdout.Bytes())
+	if err != nil {
+		t.Fatalf("streamed report does not parse: %v", err)
+	}
+	if len(rep.Scenarios) != len(scenario.Names()) {
+		t.Errorf("streamed catalog run covered %d presets, want %d", len(rep.Scenarios), len(scenario.Names()))
+	}
+}
+
 // TestCILogDiffJob pins the CI byte-determinism gate: two independent durable
 // runs, every log shard and the manifest compared byte for byte, the log
 // uploaded as an artifact.

@@ -126,6 +126,56 @@ func TestDistributedMatchesBatchAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestPipelinedFlushMatchesBatch crosses the coordinator's flush chunk
+// boundary: a per-(worker, protocol) batch several times the chunk size
+// ships as a sequence of double-buffered requests (encode of chunk N
+// overlapping the POST of chunk N-1), and the resolved sets must still be
+// byte-identical to the batch backend's. One worker concentrates the whole
+// corpus on a single pipeline; a second run with two workers splits it.
+func TestPipelinedFlushMatchesBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	obs := corpus(5, 30000) // 10k per protocol — past the 8192-observation chunk size
+
+	batch := resolver.NewBatch()
+	bs, err := batch.Open(resolver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSets := map[ident.Protocol][]alias.Set{}
+	for _, o := range obs {
+		bs.Observe(o)
+	}
+	for _, p := range ident.Protocols {
+		wantSets[p] = bs.Sets(p)
+	}
+	if err := bs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			be := distres.New(workers)
+			defer be.Close()
+			ses, err := be.Open(resolver.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ses.Close()
+			for _, o := range obs {
+				ses.Observe(o)
+			}
+			for _, p := range ident.Protocols {
+				requireEqualSets(t, p.String(), wantSets[p], ses.Sets(p))
+			}
+			if err := ses.Close(); err != nil {
+				t.Fatalf("healthy session Close: %v", err)
+			}
+		})
+	}
+}
+
 // TestSessionsShareOneCluster pins the backend contract: every session a
 // backend opens runs on the same worker fleet (the shard map is a function
 // of the cluster size, so sessions must agree on it), and independent

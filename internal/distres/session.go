@@ -96,9 +96,20 @@ func (s *session) Observe(o alias.Observation) {
 	s.mu.Unlock()
 }
 
-// flush ships one protocol's pending buffers to their workers. Each batch is
-// canonicalised before encoding (encodeObsRequest), so the wire bytes are
-// arrival-order-independent.
+// flushChunkObs bounds one wire request of the pipelined flush: large enough
+// that header and ack overhead is negligible, small enough that encoding the
+// next chunk genuinely overlaps the in-flight POST.
+const flushChunkObs = 8192
+
+// flush ships one protocol's pending buffers to their workers. Each worker's
+// batch is canonicalised once, then shipped as a double-buffered pipeline:
+// an encoder goroutine serialises chunk N while the sender's POST of chunk
+// N-1 is still on the wire (channel capacity 1 = one chunk encoded ahead).
+// Chunks of a canonical batch are themselves canonical, so the encoder's own
+// canon pass stays a no-op and the wire bytes remain
+// arrival-order-independent; the worker folds sequential chunks into the same
+// shard state one combined batch would produce. Batches at or under the chunk
+// size take the single-request path unchanged.
 func (s *session) flush(p ident.Protocol) error {
 	s.mu.Lock()
 	if s.err != nil {
@@ -122,22 +133,41 @@ func (s *session) flush(p ident.Protocol) error {
 		wg.Add(1)
 		go func(w int, batch []alias.Observation) {
 			defer wg.Done()
-			// Canonicalise up front so the ack count is comparable; the
-			// encoder's own canon pass is then a no-op.
+			// Canonicalise up front so each chunk's ack count is comparable.
 			batch = canonObs(batch)
-			want := len(batch)
-			body, err := s.cluster.post(s.resolveURL(w), encodeObsRequest(batch))
-			if err != nil {
-				errs[w] = fmt.Errorf("worker %d: %v", w, err)
-				return
+			type chunk struct {
+				body []byte
+				want int
 			}
-			m, err := decodeMessage(body)
-			if err != nil || m.op != opObs {
-				errs[w] = fmt.Errorf("worker %d: bad ingest ack: %v", w, err)
-				return
-			}
-			if m.count != want {
-				errs[w] = fmt.Errorf("worker %d applied %d of %d observations", w, m.count, want)
+			chunks := make(chan chunk, 1)
+			go func() {
+				defer close(chunks)
+				for len(batch) > 0 {
+					n := len(batch)
+					if n > flushChunkObs {
+						n = flushChunkObs
+					}
+					chunks <- chunk{body: encodeObsRequest(batch[:n]), want: n}
+					batch = batch[n:]
+				}
+			}()
+			for c := range chunks {
+				if errs[w] != nil {
+					continue // drain the encoder so it can exit
+				}
+				body, err := s.cluster.post(s.resolveURL(w), c.body)
+				if err != nil {
+					errs[w] = fmt.Errorf("worker %d: %v", w, err)
+					continue
+				}
+				m, err := decodeMessage(body)
+				if err != nil || m.op != opObs {
+					errs[w] = fmt.Errorf("worker %d: bad ingest ack: %v", w, err)
+					continue
+				}
+				if m.count != c.want {
+					errs[w] = fmt.Errorf("worker %d applied %d of %d observations", w, m.count, c.want)
+				}
 			}
 		}(w, batch)
 	}

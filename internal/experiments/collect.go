@@ -63,6 +63,13 @@ type ScanOptions struct {
 	// is a tap, not a detour. EnvSeries installs the streaming backend's
 	// sink here.
 	Sink ObservationSink
+	// DiscardObs turns the tap into the only output: scan workers deliver
+	// every observation to Sink and accumulate nothing, so the returned
+	// Dataset carries empty Obs slices and collection memory stays
+	// O(workers) instead of O(observations). This is the scan front of the
+	// out-of-core path — the sink writes to the durable log and sealing
+	// later replays it. Requires a non-nil Sink.
+	DiscardObs bool
 }
 
 // simGrabTimeout bounds one service grab against the simulated fabric. The
@@ -174,11 +181,17 @@ func scanSSH(v *netsim.Vantage, targets []netip.Addr, opts ScanOptions) ([]alias
 	if err != nil {
 		return nil, fmt.Errorf("experiments: ssh sweep: %w", err)
 	}
-	grabs := zgrab.RunStreamEmit(v, open, &zgrab.SSHModule{Timeout: simGrabTimeout},
-		zgrab.Options{Workers: opts.Workers, DialTimeout: simGrabTimeout},
-		emitIdent(opts.Sink, ident.SSH, func(data any) (ident.Identifier, bool) {
-			return ident.FromSSH(data.(*sshwire.ScanResult))
-		}))
+	mod := &zgrab.SSHModule{Timeout: simGrabTimeout}
+	zopts := zgrab.Options{Workers: opts.Workers, DialTimeout: simGrabTimeout}
+	emit := emitIdent(opts.Sink, ident.SSH, func(data any) (ident.Identifier, bool) {
+		return ident.FromSSH(data.(*sshwire.ScanResult))
+	})
+	if opts.DiscardObs {
+		zgrab.RunStreamDiscard(v, open, mod, zopts, emit)
+		<-done
+		return nil, nil
+	}
+	grabs := zgrab.RunStreamEmit(v, open, mod, zopts, emit)
 	<-done
 	var obs []alias.Observation
 	for _, g := range zgrab.Successes(grabs) {
@@ -216,11 +229,17 @@ func scanBGP(v *netsim.Vantage, targets []netip.Addr, opts ScanOptions) ([]alias
 	if err != nil {
 		return nil, fmt.Errorf("experiments: bgp sweep: %w", err)
 	}
-	grabs := zgrab.RunStreamEmit(v, open, &zgrab.BGPModule{Timeout: simGrabTimeout},
-		zgrab.Options{Workers: opts.Workers, DialTimeout: simGrabTimeout},
-		emitIdent(opts.Sink, ident.BGP, func(data any) (ident.Identifier, bool) {
-			return ident.FromBGP(data.(*bgp.ScanResult))
-		}))
+	mod := &zgrab.BGPModule{Timeout: simGrabTimeout}
+	zopts := zgrab.Options{Workers: opts.Workers, DialTimeout: simGrabTimeout}
+	emit := emitIdent(opts.Sink, ident.BGP, func(data any) (ident.Identifier, bool) {
+		return ident.FromBGP(data.(*bgp.ScanResult))
+	})
+	if opts.DiscardObs {
+		zgrab.RunStreamDiscard(v, open, mod, zopts, emit)
+		<-done
+		return nil, nil
+	}
+	grabs := zgrab.RunStreamEmit(v, open, mod, zopts, emit)
 	<-done
 	var obs []alias.Observation
 	for _, g := range zgrab.Successes(grabs) {
@@ -242,7 +261,12 @@ func scanSNMP(v *netsim.Vantage, targets []netip.Addr, opts ScanOptions) []alias
 		id ident.Identifier
 		ok bool
 	}
-	slots := make([]slot, len(targets))
+	// In discard mode the sink is the only output, so the O(targets) result
+	// table is never allocated.
+	var slots []slot
+	if !opts.DiscardObs {
+		slots = make([]slot, len(targets))
+	}
 	idx := make(chan int, opts.Workers)
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
@@ -255,7 +279,9 @@ func scanSNMP(v *netsim.Vantage, targets []netip.Addr, opts ScanOptions) []alias
 					continue
 				}
 				if id, idOK := ident.FromSNMPEngineID(res.EngineID); idOK {
-					slots[i] = slot{id: id, ok: true}
+					if slots != nil {
+						slots[i] = slot{id: id, ok: true}
+					}
 					if opts.Sink != nil {
 						opts.Sink.Observe(ident.SNMP,
 							alias.Observation{Addr: targets[i], ID: id})

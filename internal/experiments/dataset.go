@@ -46,6 +46,10 @@ type Dataset struct {
 	NonStandardPortSSH int
 
 	views *datasetViews
+	// stream, when set, marks an out-of-core dataset: Obs is empty and the
+	// observations live in one folded epoch of the observation log. The
+	// address universes and EachObs route through it; see stream.go.
+	stream *streamSource
 }
 
 // NewDataset returns an empty dataset.
@@ -76,7 +80,12 @@ func (d *Dataset) AddAll(p ident.Protocol, obs []alias.Observation) {
 // sealed dataset the universe is derived once and shared — treat the result
 // as read-only.
 func (d *Dataset) Addrs(p ident.Protocol, v4 *bool) []netip.Addr {
-	f := func() []netip.Addr { return distinctAddrs(d.Obs[p], v4) }
+	f := func() []netip.Addr {
+		if d.stream != nil {
+			return filterFam(d.stream.addrs[p], v4)
+		}
+		return distinctAddrs(d.Obs[p], v4)
+	}
 	if v := d.views; v != nil {
 		return v.addrs[p][selIdx(v4)].get(f)
 	}
@@ -88,6 +97,13 @@ func (d *Dataset) Addrs(p ident.Protocol, v4 *bool) []netip.Addr {
 // treat the result as read-only.
 func (d *Dataset) AllAddrs(v4 *bool) []netip.Addr {
 	f := func() []netip.Addr {
+		if d.stream != nil {
+			var merged []netip.Addr
+			for _, p := range ident.Protocols {
+				merged = mergeAddrs(merged, d.stream.addrs[p])
+			}
+			return filterFam(merged, v4)
+		}
 		var all []alias.Observation
 		for _, p := range ident.Protocols {
 			all = append(all, d.Obs[p]...)

@@ -31,6 +31,10 @@ type Env struct {
 	// session for its views. Close releases all of them.
 	session   resolver.Session
 	closeOnce sync.Once
+	// onClose runs after the sessions close — BuildEnv hangs the temporary
+	// stream-collection spill's cleanup here so a facade-built Env owns its
+	// whole footprint.
+	onClose func() error
 }
 
 // Options parameterise environment construction.
@@ -70,6 +74,19 @@ type Options struct {
 	// is on disk before the manifest commits the epoch. Nil records an
 	// empty digest.
 	EpochDigest func(*Epoch) (string, error)
+	// StreamCollect selects the out-of-core collection path: scan sinks
+	// write straight into a per-protocol obslog spill (Log when set, else a
+	// temporary writer) and accumulate nothing in RAM, and sealing replays
+	// the folded epoch through the resolver sessions in bounded batches.
+	// Alias sets are byte-identical to the in-RAM path on every backend;
+	// peak memory is O(alias-set output + arena), not O(observations). Raw
+	// Dataset.Obs reads are empty in this mode — analyses iterate through
+	// Dataset.EachObs and the memoized views instead.
+	StreamCollect bool
+	// MemBudget, consulted only with StreamCollect, is an advisory bound in
+	// bytes on the collection/replay working set; it sizes the streaming
+	// reader's readahead. 0 picks the obslog default.
+	MemBudget int64
 }
 
 // BuildEnv generates a world and measures it from both vantage points in
@@ -82,7 +99,11 @@ func BuildEnv(opts Options) (*Env, error) {
 	}
 	ep, err := s.Advance()
 	if err != nil {
+		s.Close()
 		return nil, err
 	}
+	// A single-epoch Env owns the series' temporary spill (if any): its
+	// Close tears the spill down along with the sessions.
+	ep.Env.onClose = s.Close
 	return ep.Env, nil
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"aliaslimit/internal/alias"
@@ -40,6 +41,13 @@ type EnvSeries struct {
 
 	opts SeriesOptions
 	next int
+
+	// spill is the observation log stream collection writes through: the
+	// caller's Options.Log when set, else a temporary writer the series
+	// owns (spillOwned) and Close tears down with its directory.
+	spill      *obslog.Writer
+	spillDir   string
+	spillOwned bool
 }
 
 // SeriesOptions parameterise a multi-epoch run.
@@ -114,6 +122,56 @@ func NewEnvSeries(opts SeriesOptions) (*EnvSeries, error) {
 // Epochs returns the configured number of snapshot rounds.
 func (s *EnvSeries) Epochs() int { return s.opts.Epochs }
 
+// ensureSpill returns the observation log stream collection writes through,
+// creating the series-owned temporary writer on first use when the caller
+// supplied no durable log. The temporary spill is collection scratch, not a
+// checkpoint: it never fsyncs.
+func (s *EnvSeries) ensureSpill() (*obslog.Writer, error) {
+	if s.opts.Log != nil {
+		return s.opts.Log, nil
+	}
+	if s.spill == nil {
+		dir, err := os.MkdirTemp("", "aliaslimit-stream-*")
+		if err != nil {
+			return nil, fmt.Errorf("experiments: stream spill: %w", err)
+		}
+		meta := obslog.RunMeta{
+			Scenario: "stream-collect",
+			Seed:     s.opts.Scan.Seed,
+			Scale:    s.opts.Topo.Scale,
+			Epochs:   s.opts.Epochs,
+		}
+		w, err := obslog.Create(dir, meta, obslog.Options{Sync: obslog.SyncNever})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("experiments: stream spill: %w", err)
+		}
+		s.spill, s.spillDir, s.spillOwned = w, dir, true
+	}
+	return s.spill, nil
+}
+
+// Close releases the series' temporary stream-collection spill, if one was
+// created. Stream-backed epochs of this series must be fully consumed
+// first — their datasets replay from the spill. Safe to call on any series;
+// a caller-supplied Options.Log is never touched.
+func (s *EnvSeries) Close() error {
+	if !s.spillOwned {
+		return nil
+	}
+	var err error
+	if s.spill != nil {
+		err = s.spill.Close()
+	}
+	if s.spillDir != "" {
+		if rerr := os.RemoveAll(s.spillDir); err == nil {
+			err = rerr
+		}
+	}
+	s.spill, s.spillDir, s.spillOwned = nil, "", false
+	return err
+}
+
 // Advance runs the next epoch and returns it. It fails once the configured
 // number of epochs is exhausted.
 func (s *EnvSeries) Advance() (*Epoch, error) {
@@ -151,7 +209,31 @@ func (s *EnvSeries) Advance() (*Epoch, error) {
 		activeOpts.Sink = TeeSink(sessionSink{activeSes}, sessionSink{unionSes})
 		censysOpts.Sink = TeeSink(sessionSink{censysSes}, sessionSink{unionSes})
 	}
-	if lg := s.opts.Log; lg != nil {
+	closeLive := func() {
+		for _, ls := range []resolver.Session{activeSes, censysSes, unionSes} {
+			if ls != nil {
+				ls.Close()
+			}
+		}
+	}
+
+	lg := s.opts.Log
+	var counter *obsCounter
+	if s.opts.StreamCollect {
+		// Out-of-core collection: the log (the caller's, or a temporary
+		// spill) is the only place observations land — scan workers discard
+		// everything after the sinks have seen it. The counting sink keeps
+		// the Censys SSH population size for the non-standard-port model.
+		var err error
+		if lg, err = s.ensureSpill(); err != nil {
+			closeLive()
+			return nil, err
+		}
+		activeOpts.DiscardObs, censysOpts.DiscardObs = true, true
+		counter = &obsCounter{}
+		censysOpts.Sink = TeeSink(censysOpts.Sink, counter)
+	}
+	if lg != nil {
 		// Durable runs additionally tee every observation into the log,
 		// campaign-tagged so replay can rebuild the asymmetric dataset split.
 		activeOpts.Sink = TeeSink(activeOpts.Sink, lg.Sink(obslog.SourceActive))
@@ -163,14 +245,6 @@ func (s *EnvSeries) Advance() (*Epoch, error) {
 	if e > 0 {
 		w.Clock.Advance(s.opts.EpochGap)
 		stats.EpochChurnStats = w.ApplyEpochChurn(s.opts.EpochChurn, e)
-	}
-
-	closeLive := func() {
-		for _, ls := range []resolver.Session{activeSes, censysSes, unionSes} {
-			if ls != nil {
-				ls.Close()
-			}
-		}
 	}
 
 	censys, err := CollectCensys(w, censysOpts)
@@ -188,22 +262,44 @@ func (s *EnvSeries) Advance() (*Epoch, error) {
 		closeLive()
 		return nil, err
 	}
+	if counter != nil {
+		// The batch path derives this from len(Obs[SSH]); stream mode
+		// counted the same grabs as they flowed past.
+		censys.NonStandardPortSSH = counter.count(ident.SSH) * 23 / 100
+	}
 	env := &Env{
 		World:  w,
 		Active: active,
 		Censys: censys,
 		Both:   Union("Union", active, censys),
 	}
-	// Each live session saw exactly its dataset's observations (the union
-	// session the union of both campaigns), so sealing adopts them as the
-	// datasets' resolution state — byte-identical to a batch regroup of the
-	// sealed data.
-	if err := env.seal(s.opts.Backend, activeSes, censysSes, unionSes); err != nil {
+	if s.opts.StreamCollect {
+		// Fold the epoch into its canonical on-disk segment, bind the
+		// datasets to it, and seal by replaying the segment in bounded
+		// batches (see stream.go). The fold precedes the manifest commit so
+		// the EpochDigest hook below can read the sealed views.
+		ra := readaheadFor(s.opts.MemBudget)
+		env.Active.stream = &streamSource{log: lg, epoch: e, active: true, readahead: ra}
+		env.Censys.stream = &streamSource{log: lg, epoch: e, censys: true, readahead: ra}
+		env.Both.stream = &streamSource{log: lg, epoch: e, active: true, censys: true, readahead: ra}
+		if err := lg.FoldEpoch(e); err != nil {
+			closeLive()
+			return nil, fmt.Errorf("experiments: folding epoch %d: %w", e, err)
+		}
+		if err := env.sealStreamed(s.opts.Backend, activeSes, censysSes, unionSes); err != nil {
+			closeLive()
+			return nil, fmt.Errorf("experiments: sealing epoch %d: %w", e, err)
+		}
+	} else if err := env.seal(s.opts.Backend, activeSes, censysSes, unionSes); err != nil {
+		// Each live session saw exactly its dataset's observations (the
+		// union session the union of both campaigns), so sealing adopts them
+		// as the datasets' resolution state — byte-identical to a batch
+		// regroup of the sealed data.
 		closeLive()
 		return nil, fmt.Errorf("experiments: sealing epoch %d: %w", e, err)
 	}
 	ep := &Epoch{Env: env, Stats: stats, Truth: w.Truth.Snapshot()}
-	if lg := s.opts.Log; lg != nil {
+	if lg != nil {
 		digest := ""
 		if s.opts.EpochDigest != nil {
 			d, err := s.opts.EpochDigest(ep)

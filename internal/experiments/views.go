@@ -259,6 +259,11 @@ func (e *Env) Close() error {
 				err = cerr
 			}
 		}
+		if e.onClose != nil {
+			if cerr := e.onClose(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
 	})
 	return err
 }

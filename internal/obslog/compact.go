@@ -35,6 +35,14 @@ func Compact(dir string) (CompactStats, error) {
 	if err != nil {
 		return CompactStats{}, err
 	}
+	return compactWith(dir, man)
+}
+
+// compactWith is Compact's core over an already-loaded manifest; it mutates
+// man's per-epoch offsets and writes it back. The Writer's auto-compaction
+// (Options.CompactAbove) passes its live manifest here so subsequent epochs
+// append at the compacted offsets.
+func compactWith(dir string, man *Manifest) (CompactStats, error) {
 	var stats CompactStats
 	newOffsets := make([]map[string]int64, man.EpochsDone)
 	for i := range newOffsets {

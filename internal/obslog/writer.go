@@ -41,6 +41,13 @@ type Options struct {
 	Sync SyncPolicy
 	// SpillThreshold overrides DefaultSpillThreshold when positive.
 	SpillThreshold int
+	// CompactAbove, when positive, auto-compacts the log whenever an epoch
+	// commit leaves the canonical shards totalling more than this many
+	// bytes: superseded observations fold away (Compact semantics — the
+	// final committed epoch replays identically), the shard files are
+	// atomically replaced, and the writer reopens them at the compacted
+	// offsets, all before CommitEpoch returns. Zero disables auto-compaction.
+	CompactAbove int64
 }
 
 // Writer is the append side of an observation log directory. Observe is
@@ -52,8 +59,14 @@ type Writer struct {
 	opts   Options
 	shards [numShards]*shard
 
-	mu  sync.Mutex // guards man
+	mu  sync.Mutex // guards man, pending, pendingEpoch
 	man *Manifest
+	// pending holds the per-shard offsets of an epoch FoldEpoch has made
+	// durable but CommitEpoch has not yet recorded in the manifest — the
+	// window in which the out-of-core sealing replay streams the folded
+	// segment back through EpochReaderAt.
+	pending      map[string]int64
+	pendingEpoch int
 }
 
 // shard is the per-protocol buffered append state.
@@ -194,10 +207,36 @@ func (w *Writer) Manifest() Manifest {
 // canonical segment (sorted, deduplicated, CRC-framed, closed by an epoch
 // marker), fsyncs per policy, and atomically commits the checkpoint
 // manifest recording the per-shard offsets, the world churn draw state, and
-// the running sets digest. epoch must be the next undone epoch.
+// the running sets digest. epoch must be the next undone epoch. It is
+// FoldEpoch followed by CommitEpoch; callers that need to read the folded
+// segment back before committing (the out-of-core sealing replay) call the
+// two halves themselves.
 func (w *Writer) CompleteEpoch(epoch int, setsDigest string, drawState uint64) error {
+	return w.CommitEpoch(epoch, setsDigest, drawState)
+}
+
+// FoldEpoch folds the epoch's buffered arrivals into each shard's canonical
+// segment — sorted, deduplicated, CRC-framed, closed by an epoch marker,
+// fsynced per policy — without committing the manifest. The folded segment
+// is immediately readable through EpochReaderAt, which is how streamed
+// collection seals its datasets from disk before the epoch's digest (and
+// hence the manifest record) exists. Calling FoldEpoch again for the same
+// epoch is a no-op; a crash between fold and commit costs exactly the
+// folded epoch, as if it had never been folded.
+func (w *Writer) FoldEpoch(epoch int) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.foldEpochLocked(epoch)
+}
+
+// foldEpochLocked is FoldEpoch's body; callers hold w.mu.
+func (w *Writer) foldEpochLocked(epoch int) error {
+	if w.pending != nil {
+		if epoch == w.pendingEpoch {
+			return nil
+		}
+		return fmt.Errorf("obslog: epoch %d folded but not committed; cannot fold %d", w.pendingEpoch, epoch)
+	}
 	if epoch != w.man.EpochsDone {
 		return fmt.Errorf("obslog: epoch %d out of order (next is %d)", epoch, w.man.EpochsDone)
 	}
@@ -209,14 +248,109 @@ func (w *Writer) CompleteEpoch(epoch int, setsDigest string, drawState uint64) e
 		}
 		offsets[protoKey(p)] = s.size
 	}
+	w.pending, w.pendingEpoch = offsets, epoch
+	return nil
+}
+
+// CommitEpoch records a folded epoch in the checkpoint manifest (folding it
+// first if FoldEpoch has not run). The segment is durable before the
+// manifest names it — the ordering crash safety rests on. After the commit
+// it triggers auto-compaction when Options.CompactAbove is exceeded.
+func (w *Writer) CommitEpoch(epoch int, setsDigest string, drawState uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.foldEpochLocked(epoch); err != nil {
+		return err
+	}
 	w.man.EpochsDone = epoch + 1
 	w.man.Epochs = append(w.man.Epochs, EpochRecord{
 		Epoch:      epoch,
 		SetsDigest: setsDigest,
 		DrawState:  drawState,
-		Offsets:    offsets,
+		Offsets:    w.pending,
 	})
-	return w.writeManifest()
+	w.pending = nil
+	if err := w.writeManifest(); err != nil {
+		return err
+	}
+	return w.maybeCompactLocked()
+}
+
+// EpochReaderAt opens a chunked streaming reader over one epoch of one
+// shard. It serves committed epochs and the epoch FoldEpoch has folded but
+// not yet committed — the window the out-of-core sealing replay reads. The
+// reader takes its own file handle, so subsequent appends never disturb it,
+// and the open happens under the writer lock so a concurrent auto-compaction
+// cannot swap the file between offset resolution and open.
+func (w *Writer) EpochReaderAt(p ident.Protocol, epoch int, opts ReadOptions) (*EpochReader, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	start := int64(len(appendFrame(nil, headerPayload(p))))
+	if epoch > 0 {
+		if epoch-1 >= w.man.EpochsDone {
+			return nil, fmt.Errorf("obslog: epoch %d neither committed nor folded (%d epochs done)", epoch, w.man.EpochsDone)
+		}
+		start = w.man.Epochs[epoch-1].Offsets[protoKey(p)]
+	}
+	var end int64
+	switch {
+	case epoch >= 0 && epoch < w.man.EpochsDone:
+		end = w.man.Epochs[epoch].Offsets[protoKey(p)]
+	case w.pending != nil && epoch == w.pendingEpoch:
+		end = w.pending[protoKey(p)]
+	default:
+		return nil, fmt.Errorf("obslog: epoch %d neither committed nor folded (%d epochs done)", epoch, w.man.EpochsDone)
+	}
+	return openEpochRange(filepath.Join(w.dir, shardName(p)), p, epoch, start, end, opts)
+}
+
+// maybeCompactLocked runs the compaction pass when the canonical shards
+// exceed Options.CompactAbove. The shard handles are closed around the pass
+// (compaction atomically replaces the files) and reopened at the compacted
+// offsets; readers opened earlier keep their own handles on the replaced
+// inodes and finish undisturbed. Callers hold w.mu.
+func (w *Writer) maybeCompactLocked() error {
+	if w.opts.CompactAbove <= 0 {
+		return nil
+	}
+	var total int64
+	for _, p := range ident.Protocols {
+		total += w.shards[p].size
+	}
+	if total <= w.opts.CompactAbove {
+		return nil
+	}
+	for _, p := range ident.Protocols {
+		s := w.shards[p]
+		s.mu.Lock()
+		err := s.f.Close()
+		s.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("obslog: %s shard: %w", protoKey(p), err)
+		}
+	}
+	if _, err := compactWith(w.dir, w.man); err != nil {
+		return err
+	}
+	for _, p := range ident.Protocols {
+		s := w.shards[p]
+		size := int64(len(appendFrame(nil, headerPayload(p))))
+		if w.man.EpochsDone > 0 {
+			size = w.man.Epochs[w.man.EpochsDone-1].Offsets[protoKey(p)]
+		}
+		f, err := os.OpenFile(filepath.Join(w.dir, shardName(p)), os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("obslog: %w", err)
+		}
+		if _, err := f.Seek(size, 0); err != nil {
+			f.Close()
+			return fmt.Errorf("obslog: %s shard: %w", protoKey(p), err)
+		}
+		s.mu.Lock()
+		s.f, s.size = f, size
+		s.mu.Unlock()
+	}
+	return nil
 }
 
 // fold drains the spill and memory tail, canonicalises the epoch's records,
@@ -305,9 +439,12 @@ func (w *Writer) Rollback(done int) error {
 	if done < 0 || done > w.man.EpochsDone {
 		return fmt.Errorf("obslog: cannot roll back to %d of %d epochs", done, w.man.EpochsDone)
 	}
-	if done == w.man.EpochsDone {
+	if done == w.man.EpochsDone && w.pending == nil {
 		return nil
 	}
+	// A folded-but-uncommitted segment sits beyond the committed offsets;
+	// the truncation below removes it along with any rolled-back epochs.
+	w.pending = nil
 	for _, p := range ident.Protocols {
 		s := w.shards[p]
 		s.mu.Lock()

@@ -202,6 +202,9 @@ type longRun struct {
 // new directory, or resumeLog when the resume path already reopened one.
 func newLongRun(p Preset, opts LongitudinalOptions, resumeLog *obslog.Writer) (*longRun, error) {
 	name := p.Name
+	if p.StreamOnly && !opts.StreamCollect {
+		return nil, fmt.Errorf("scenario %s: this world only runs out-of-core; pass -stream-collect", name)
+	}
 	n := opts.Epochs
 	if n == 0 {
 		n = 5
@@ -314,7 +317,11 @@ func (r *longRun) runEpoch() error {
 	}
 	delete(r.pending, e)
 	r.out.Epochs = append(r.out.Epochs, es)
-	r.views = append(r.views, newEpochView(ep.Env))
+	view, err := newEpochView(ep.Env)
+	if err != nil {
+		return fmt.Errorf("scenario %s epoch %d: %w", r.p.Name, e, err)
+	}
+	r.views = append(r.views, view)
 	r.finalTruth = ep.Truth
 	// The view captured everything the cross-epoch metrics read, so the
 	// epoch's resolver sessions can go; closing surfaces a distributed
@@ -339,11 +346,15 @@ func (r *longRun) finish() *LongitudinalResult {
 	return out
 }
 
-// close releases the observation log, if any, and the resolver backend (the
-// distributed backend stops its worker processes here).
+// close releases the observation log, if any, the series' temporary
+// stream-collection spill, and the resolver backend (the distributed
+// backend stops its worker processes here).
 func (r *longRun) close() {
 	if r.log != nil {
 		r.log.Close()
+	}
+	if r.series != nil {
+		r.series.Close()
 	}
 	if r.backend != nil {
 		closeBackend(r.backend)
@@ -351,9 +362,15 @@ func (r *longRun) close() {
 }
 
 // newEpochView captures the identifier maps and union partitions of one
-// sealed epoch environment.
-func newEpochView(env *experiments.Env) *epochView {
+// sealed epoch environment. It iterates through Dataset.EachObs, so it works
+// identically over in-RAM and stream-backed epochs; a stream-backed epoch
+// whose log segment fails to read surfaces the error instead of yielding a
+// partial view.
+func newEpochView(env *experiments.Env) (*epochView, error) {
 	v := &epochView{}
+	record := func(m map[netip.Addr]string) func(alias.Observation) {
+		return func(o alias.Observation) { m[o.Addr] = o.ID.Digest }
+	}
 	for i, proto := range scoreProtos {
 		m := make(map[netip.Addr]string)
 		// Chronological overwrite: the Censys snapshot first, the active
@@ -361,12 +378,12 @@ func newEpochView(env *experiments.Env) *epochView {
 		// freshest observation defines an address's identifier. SNMPv3 has a
 		// single source, as everywhere else in the analysis.
 		if proto != ident.SNMP {
-			for _, o := range env.Censys.Obs[proto] {
-				m[o.Addr] = o.ID.Digest
+			if err := env.Censys.EachObs(proto, record(m)); err != nil {
+				return nil, err
 			}
 		}
-		for _, o := range env.Active.Obs[proto] {
-			m[o.Addr] = o.ID.Digest
+		if err := env.Active.EachObs(proto, record(m)); err != nil {
+			return nil, err
 		}
 		v.ids[i] = m
 	}
@@ -374,7 +391,7 @@ func newEpochView(env *experiments.Env) *epochView {
 		v.all[fi] = env.UnionFamilySets(v4)
 		v.ns[fi] = env.UnionFamilyNonSingleton(v4)
 	}
-	return v
+	return v, nil
 }
 
 // persistence computes the per-protocol identifier-persistence rates across

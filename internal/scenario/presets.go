@@ -36,6 +36,11 @@ type Preset struct {
 	// -epochs (every preset *can* run longitudinally; these are the pinned
 	// interesting ones).
 	Longitudinal bool
+	// StreamOnly marks worlds too large for in-RAM collection: the run
+	// refuses to start without Options.StreamCollect, because materialising
+	// the observations would defeat the preset's point (and its memory
+	// budget). `-run all` skips these unless streaming is on.
+	StreamOnly bool
 }
 
 // DefaultEpochChurn is the calm-Internet epoch boundary: a small dynamic
@@ -149,6 +154,13 @@ var presets = []Preset{
 		Summary:    "ten times the calibrated scale — the zero-alloc hot-path workout (arena grouping, dense topo, stack-only draws)",
 		Scale:      10.0,
 		QuickScale: 0.5,
+	},
+	{
+		Name:       "megascale-x100",
+		Summary:    "a hundred times the calibrated scale — runnable only out-of-core (-stream-collect): scan→disk→replayed grouping, never a full in-RAM dataset",
+		Scale:      100.0,
+		QuickScale: 1.0,
+		StreamOnly: true,
 	},
 }
 

@@ -76,7 +76,8 @@ func loadEpochScore(dir string, epoch int) (*EpochScore, error) {
 // ResumeLongitudinal continues the durable longitudinal run under dir. The
 // run's identity — preset, seed, scale, quick, backend, epochs, decay — comes
 // from the log's manifest; opts contributes only the execution knobs that
-// cannot change results (Workers, Parallelism, ShardWorkers). Epochs the log holds are
+// cannot change results (Workers, Parallelism, ShardWorkers, StreamCollect,
+// MemBudget). Epochs the log holds are
 // replayed and verified, remaining epochs run live, and the assembled
 // LongitudinalResult is identical (MIDAR tallies of post-crash epochs aside)
 // to what the uninterrupted run would have returned.
@@ -108,6 +109,11 @@ func ResumeLongitudinal(dir string, opts Options) (*LongitudinalResult, error) {
 			Backend:      meta.Backend,
 			ShardWorkers: opts.ShardWorkers,
 			LogDir:       dir,
+			// Streaming collection is a memory policy, not a semantic
+			// difference (its alias sets are byte-identical), so like
+			// Workers it carries over from the resume invocation.
+			StreamCollect: opts.StreamCollect,
+			MemBudget:     opts.MemBudget,
 		},
 		Epochs: meta.Epochs,
 		Decay:  meta.Decay,
@@ -183,7 +189,12 @@ func ResumeLongitudinal(dir string, opts Options) (*LongitudinalResult, error) {
 				e, es.SetsDigest, rec.SetsDigest)
 		}
 		r.out.Epochs = append(r.out.Epochs, es)
-		r.views = append(r.views, newEpochView(env))
+		view, err := newEpochView(env)
+		if err != nil {
+			closeBackend(backend)
+			return nil, fmt.Errorf("scenario: replaying epoch %d: %w", e, err)
+		}
+		r.views = append(r.views, view)
 		if err := env.Close(); err != nil {
 			closeBackend(backend)
 			return nil, fmt.Errorf("scenario: replaying epoch %d: %w", e, err)

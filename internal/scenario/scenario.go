@@ -62,6 +62,18 @@ type Options struct {
 	// `cmd/scenarios -resume`. One run per directory; the directory must
 	// not already hold a log.
 	LogDir string
+	// StreamCollect selects the out-of-core collection path: observations
+	// spill to a per-protocol obslog during the scans (under LogDir when
+	// set, else a temporary directory) and dataset sealing replays them in
+	// bounded batches, so peak memory stays O(alias-set output + arena)
+	// instead of O(observations). Scorecards — including SetsDigest — are
+	// byte-identical to the in-RAM path on every backend. Required by
+	// StreamOnly presets (megascale-x100).
+	StreamCollect bool
+	// MemBudget, consulted only with StreamCollect, advises the replay
+	// working-set size in bytes (it tunes the log reader's readahead); 0
+	// picks the default.
+	MemBudget int64
 }
 
 // ProtocolScore is one protocol's ground-truth accuracy in one scenario.
@@ -235,11 +247,16 @@ func envOptions(p Preset, cfg topo.Config, opts Options) (experiments.Options, e
 		ChurnFraction: p.Churn,
 		Faults:        faults,
 		Backend:       backend,
+		StreamCollect: opts.StreamCollect,
+		MemBudget:     opts.MemBudget,
 	}, nil
 }
 
 // runPreset measures one (possibly sweep-modified) preset and scores it.
 func runPreset(p Preset, opts Options) (*Result, error) {
+	if p.StreamOnly && !opts.StreamCollect {
+		return nil, fmt.Errorf("scenario %s: this world only runs out-of-core; pass -stream-collect", p.Name)
+	}
 	cfg, quick := resolveConfig(p, opts)
 	eopts, err := envOptions(p, cfg, opts)
 	if err != nil {

@@ -95,6 +95,21 @@ func RunStream(d Dialer, targets <-chan netip.Addr, m Module, opts Options) []Gr
 // a streaming resolver backend consumes observations online instead of
 // waiting for the sorted batch.
 func RunStreamEmit(d Dialer, targets <-chan netip.Addr, m Module, opts Options, emit func(Grab)) []Grab {
+	return runStream(d, targets, m, opts, emit, true)
+}
+
+// RunStreamDiscard is RunStreamEmit without the accumulated result slice:
+// every grab is delivered to emit and then dropped, so resident memory is
+// O(workers) regardless of target count. It is the scan front of the
+// out-of-core collection path, where the tap writes observations to the
+// durable log and nothing downstream wants the sorted batch.
+func RunStreamDiscard(d Dialer, targets <-chan netip.Addr, m Module, opts Options, emit func(Grab)) {
+	runStream(d, targets, m, opts, emit, false)
+}
+
+// runStream is the shared worker pool behind the stream entry points; keep
+// selects whether per-worker shards accumulate grabs for the sorted merge.
+func runStream(d Dialer, targets <-chan netip.Addr, m Module, opts Options, emit func(Grab), keep bool) []Grab {
 	port := opts.Port
 	if port == 0 {
 		port = m.DefaultPort()
@@ -119,11 +134,16 @@ func RunStreamEmit(d Dialer, targets <-chan netip.Addr, m Module, opts Options, 
 				if emit != nil {
 					emit(g)
 				}
-				*shard = append(*shard, g)
+				if keep {
+					*shard = append(*shard, g)
+				}
 			}
 		}(&shards[w])
 	}
 	wg.Wait()
+	if !keep {
+		return nil
+	}
 
 	var grabs []Grab
 	for _, s := range shards {
